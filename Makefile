@@ -1,0 +1,29 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-quick examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:           ## full 251-submission reproduction of every figure
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:     ## reduced population for a fast pass
+	REPRO_POPULATION=60 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/detector_tour.py
+	$(PYTHON) examples/advanced_attacks.py
+	$(PYTHON) examples/online_monitoring.py
+	$(PYTHON) examples/challenge_simulation.py 30
+	$(PYTHON) examples/attack_optimization.py 3
+
+clean:
+	rm -rf benchmarks/results .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

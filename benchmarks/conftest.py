@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+The benches reproduce the paper's evaluation over one shared world and one
+shared synthetic population.  Population size defaults to the paper's 251
+submissions; set ``REPRO_POPULATION`` (environment variable) to a smaller
+value for a quick pass.
+
+Every bench writes the series/rows it reproduces to
+``benchmarks/results/<experiment>.txt`` (also printed; visible with
+``pytest -s``), so the reproduced "figures" survive the run.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _population_size() -> int:
+    return int(os.environ.get("REPRO_POPULATION", "251"))
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """The shared challenge world + population for all benches."""
+    return ExperimentContext(seed=2008, population_size=_population_size())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def record(results_dir: Path, name: str, text: str) -> None:
+    """Print and persist one experiment's reproduced output."""
+    print()
+    print(f"=== {name} ===")
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,35 @@
+"""Ablation bench: contribution of each P-scheme design choice.
+
+Not a paper figure -- this regenerates the design rationale DESIGN.md
+records: removing Path 1, the long ARC window, or the trust layer must
+cost defense strength on the canonical attack set.  (Path 2's contribution
+is not exercised by this attack set: the calibrated Path 1 already covers
+these attacks; Path 2 exists for alarm-only cases where the MC curve is
+flattened but ME/HC still confirm.)
+"""
+
+from conftest import record
+
+from repro.experiments.ablations import run_pscheme_ablation
+
+
+def test_ablation_pscheme(benchmark, context, results_dir):
+    result = benchmark.pedantic(
+        run_pscheme_ablation, args=(context,), rounds=1, iterations=1
+    )
+    record(results_dir, "ablation_pscheme", result.to_text())
+    full = result.mp["full"]
+    # The full scheme beats plain averaging on every canonical attack.
+    for attack, sa_mp in result.sa_mp.items():
+        assert full[attack] < 0.5 * sa_mp, (
+            f"{attack}: full P-scheme MP {full[attack]:.3f} vs SA {sa_mp:.3f}"
+        )
+    # Path 1 is load-bearing: removing it forfeits most of the defense.
+    assert sum(result.mp["no-path1"].values()) > 2.0 * sum(full.values())
+    # The long ARC window is what catches the whole-window drip.
+    assert (
+        result.mp["single-scale"]["whole-window drip"]
+        > 2.0 * full["whole-window drip"]
+    )
+    # The trust layer contributes beyond raw filtering.
+    assert sum(result.mp["filter-only"].values()) > sum(full.values())

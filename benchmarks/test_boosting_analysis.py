@@ -1,0 +1,28 @@
+"""Boosting-attack analysis (the paper's deferred future work).
+
+Section V-B claims boosting is less effective than downgrading because
+the fair mean (~4 on a 0..5 scale) leaves little headroom, and that the
+positive-bias half of the variance-bias plane has low "resolution".
+Measured here: the SA headroom curve (boost MP saturates with |bias|,
+downgrade MP grows), the UMP/LMP resolution ratio, and the nuance that
+under the P-scheme detected downgrades can fall *below* the boost
+ceiling.
+"""
+
+from conftest import record
+
+from repro.experiments.boosting import run_boosting_analysis
+
+
+def test_boosting_analysis(benchmark, context, results_dir):
+    result = benchmark.pedantic(
+        run_boosting_analysis, args=(context,), rounds=1, iterations=1
+    )
+    record(results_dir, "boosting_analysis", result.to_text())
+    # Paper claim: without a defense, downgrading dominates boosting.
+    assert result.boost_weaker_under_sa
+    # Paper claim: the boost is ceiling-limited (flat in |bias| under SA).
+    assert result.boost_saturates
+    # Paper claim: the boost half of the plane has lower resolution than
+    # the downgrade half.
+    assert result.resolution_ratio < 1.0

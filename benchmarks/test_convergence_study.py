@@ -1,0 +1,33 @@
+"""Population-size convergence of the figure conclusions (methodology).
+
+How many challenge submissions does the Figure 3 winner-region conclusion
+need?  Measured on nested populations under the SA-scheme: tiny
+populations (20) can report the *wrong* dominant region; the conclusion
+stabilizes at R1 well before the paper's 251, with the winner centroid
+marching toward the large-bias/low-variance corner as the sample grows.
+"""
+
+from conftest import record
+
+from repro.analysis.bias_variance import Region
+from repro.experiments.convergence import run_convergence_study
+
+
+def test_convergence_study(benchmark, context, results_dir):
+    scheme = context.scheme("SA")
+
+    def run():
+        return run_convergence_study(
+            scheme, sizes=(20, 40, 80, 160), challenge=context.challenge
+        )
+
+    study = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(results_dir, "convergence_study", study.to_text())
+    # The conclusion at the largest size is the paper's R1.
+    assert study.dominant_regions[-1] is Region.R1
+    # It stabilizes strictly before the largest size.
+    stable = study.stable_from()
+    assert stable is not None and stable < study.sizes[-1]
+    # The winner centroid's |bias| grows with the sample (extremes arrive).
+    biases = [c[0] for c in study.centroids if c is not None]
+    assert biases[-1] < biases[0]

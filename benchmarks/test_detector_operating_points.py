@@ -1,0 +1,23 @@
+"""E8 / Figure 1 behaviour: joint-detector operating points.
+
+Exercises both detection paths on scripted attacks and measures the
+false-alarm rate on fair-only data (Section IV-F motivates the integration
+precisely by false-alarm control).
+"""
+
+from conftest import record
+
+from repro.experiments import run_operating_points
+
+
+def test_detector_operating_points(benchmark, context, results_dir):
+    points = benchmark.pedantic(
+        run_operating_points, args=(context,), rounds=1, iterations=1
+    )
+    record(results_dir, "detector_operating_points", points.to_text())
+    assert points.false_alarm_rate < 0.01
+    rows = {name: (recall, collateral) for name, recall, collateral in points.attack_rows}
+    assert rows["strong downgrade (path 1)"][0] > 0.8
+    assert rows["burst downgrade"][0] > 0.8
+    for _name, (_recall, collateral) in rows.items():
+        assert collateral < 0.1

@@ -1,0 +1,30 @@
+"""E1 / Figure 2: variance-bias scatter under the P-scheme.
+
+Paper claim: the submissions with the largest MP values concentrate in
+region R3 (medium bias, medium-to-large variance) when the signal-based
+P-scheme defends.
+"""
+
+from conftest import record
+
+from repro.analysis.bias_variance import Region
+from repro.experiments import run_bias_variance_figure
+
+
+def test_fig2_bias_variance_pscheme(benchmark, context, results_dir):
+    figure = benchmark.pedantic(
+        run_bias_variance_figure,
+        args=(context, "P", "tv1"),
+        rounds=1,
+        iterations=1,
+    )
+    record(results_dir, "fig2_bias_variance_pscheme", figure.to_text())
+    # Shape checks (paper Section V-B).
+    counts = figure.winner_region_counts
+    assert counts[Region.R3] + counts[Region.R2] >= counts[Region.R1], (
+        "P-scheme winners should shift away from the pure large-bias "
+        f"region; got {counts}"
+    )
+    assert figure.winner_centroid is not None
+    _bias, std = figure.winner_centroid
+    assert std > 0.3, "P-scheme winners should carry substantial variance"

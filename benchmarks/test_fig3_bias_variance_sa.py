@@ -1,0 +1,26 @@
+"""E2 / Figure 3: variance-bias scatter under the SA-scheme.
+
+Paper claim: with no defense, the best attack strategy is simply large
+bias -- the winners concentrate in region R1.
+"""
+
+from conftest import record
+
+from repro.analysis.bias_variance import Region
+from repro.experiments import run_bias_variance_figure
+
+
+def test_fig3_bias_variance_sa(benchmark, context, results_dir):
+    figure = benchmark.pedantic(
+        run_bias_variance_figure,
+        args=(context, "SA", "tv1"),
+        rounds=1,
+        iterations=1,
+    )
+    record(results_dir, "fig3_bias_variance_sa", figure.to_text())
+    assert figure.dominant_region is Region.R1, (
+        f"SA winners should concentrate in R1; got {figure.winner_region_counts}"
+    )
+    assert figure.winner_centroid is not None
+    bias, _std = figure.winner_centroid
+    assert bias < -2.0, "SA winners should have large negative bias"

@@ -1,0 +1,30 @@
+"""E3 / Figure 4: variance-bias scatter under the BF-scheme.
+
+Paper claim: the majority-rule beta filter only removes unfair ratings
+with large bias *and* very small variance, so winners stay at large bias
+but need non-trivial variance (compare the bottom-left corners of
+Figures 3 and 4).
+"""
+
+from conftest import record
+
+from repro.experiments import run_bias_variance_figure
+
+
+def test_fig4_bias_variance_bf(benchmark, context, results_dir):
+    figure = benchmark.pedantic(
+        run_bias_variance_figure,
+        args=(context, "BF", "tv1"),
+        rounds=1,
+        iterations=1,
+    )
+    record(results_dir, "fig4_bias_variance_bf", figure.to_text())
+    assert figure.winner_centroid is not None
+    bf_bias, bf_std = figure.winner_centroid
+    # BF winners still carry large bias (the filter fails beyond the
+    # extreme corner) ...
+    assert bf_bias < -1.0
+    # ... but the extreme zero-variance corner is cleaned out: winners
+    # need more variance than the SA winners do.
+    sa_figure = run_bias_variance_figure(context, "SA", "tv1")
+    assert bf_std >= sa_figure.winner_centroid[1] - 0.15

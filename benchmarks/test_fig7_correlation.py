@@ -1,0 +1,55 @@
+"""E6 / Figure 7: order-strategy comparison on the top-MP datasets.
+
+Paper claims, and what reproduces (see EXPERIMENTS.md for the full
+discussion):
+
+1. *Current attacks carry no exploitable correlation*: the original
+   value-to-time assignment behaves like a random one (Section V-D's
+   observation about the human submissions).  This reproduces: original
+   MP tracks the random-reorder mean closely on most datasets.
+2. *Ordering is a real attack dimension*: re-ordering which value lands at
+   which time moves the MP of high-variance datasets noticeably.  This
+   reproduces.
+3. *The Procedure 3 heuristic beats the original ordering most of the
+   time*: this does **not** reproduce under our detector stack -- the
+   multi-scale L-ARC detector is ordering-blind, and the extreme-first
+   pattern Procedure 3 degenerates to (for one-sided value sets) triggers
+   the onset detectors earlier.  The bench records the measured rows; the
+   deviation is documented rather than asserted away.
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.experiments import run_correlation_figure
+
+
+def test_fig7_correlation(benchmark, context, results_dir):
+    figure = benchmark.pedantic(
+        run_correlation_figure,
+        args=(context, "P"),
+        kwargs={"top_n": 10, "random_shuffles": 5},
+        rounds=1,
+        iterations=1,
+    )
+    record(results_dir, "fig7_correlation", figure.to_text())
+    rows = figure.rows
+    assert len(rows) == 10
+    for row in rows:
+        assert len(row.random_mps) == 5
+    # Claim 1: originals behave like random orderings (no correlation in
+    # current attacks) on the median dataset.
+    relative_gap = [
+        abs(row.original_mp - row.random_mean) / max(row.original_mp, 1e-9)
+        for row in rows
+    ]
+    assert float(np.median(relative_gap)) < 0.25
+    # Claim 2: ordering matters -- on at least one top dataset the spread
+    # across orderings exceeds 10% of the original MP.
+    spreads = []
+    for row in rows:
+        candidates = [row.original_mp, row.heuristic_mp, *row.random_mps]
+        spreads.append(
+            (max(candidates) - min(candidates)) / max(row.original_mp, 1e-9)
+        )
+    assert max(spreads) > 0.10

@@ -1,0 +1,30 @@
+"""Forgetting-factor trade-off (extension of the trust substrate).
+
+Regenerates the redemption-vs-collateral trade-off DESIGN.md's trust
+section discusses: evidence fading lets falsely-marked honest raters
+recover their voice, at the price of letting a caught cohort strike
+again.  Both directions must be monotone in the factor.
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.experiments.forgetting import run_forgetting_study
+
+
+def test_forgetting_tradeoff(benchmark, context, results_dir):
+    study = benchmark.pedantic(
+        run_forgetting_study, args=(context,), rounds=1, iterations=1
+    )
+    record(results_dir, "forgetting_tradeoff", study.to_text())
+    mp = np.asarray(study.two_strike_mp)
+    trust = np.asarray(study.marked_rater_final_trust)
+    # Factors sweep downward from 1.0: more fading.
+    assert study.factors[0] == 1.0
+    # More fading never helps the defender against the two-strike attack.
+    assert np.all(np.diff(mp) >= -1e-9)
+    # More fading always helps the falsely-marked honest rater.
+    assert np.all(np.diff(trust) > 0)
+    # Without fading the victim's trust barely clears the weightless 0.5.
+    assert trust[0] < 0.65
+    assert trust[-1] > 0.7

@@ -1,0 +1,27 @@
+"""E7 / Section V-A headline: max MP under P vs SA vs BF.
+
+Paper claim: "When using the P-scheme, the maximum MP value that the
+attackers can achieve is about 1/3 of the maximum MP value when using the
+other two schemes."  We check the shape (P substantially below both, same
+order of magnitude of the ratio); EXPERIMENTS.md records the measured
+value.
+"""
+
+from conftest import record
+
+from repro.analysis.reporting import format_table
+from repro.experiments import run_headline_comparison
+
+
+def test_headline_mp_ratio(benchmark, context, results_dir):
+    headline = benchmark.pedantic(
+        run_headline_comparison, args=(context,), rounds=1, iterations=1
+    )
+    text = headline.to_text()
+    record(results_dir, "headline_mp_ratio", text)
+    assert headline.max_mp["P"] < headline.max_mp["SA"]
+    assert headline.max_mp["P"] < headline.max_mp["BF"]
+    assert headline.p_to_sa_ratio < 0.7, (
+        f"P/SA max-MP ratio {headline.p_to_sa_ratio:.2f} should be well "
+        "below 1 (paper: ~0.33)"
+    )

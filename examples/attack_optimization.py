@@ -1,0 +1,90 @@
+"""Procedure 2 in action: find the strongest attack region per defense.
+
+The paper's heuristic unfair-rating-value-set generator (Procedure 2,
+Figure 5) recursively zooms into the (bias, variance) region that yields
+the largest Manipulation Power.  Different defenses have different weak
+regions:
+
+- against plain averaging (SA) the search heads for maximum |bias|;
+- against the signal-based P-scheme it needs substantial *variance* to
+  blur the signal features the detectors key on (the paper's region R3).
+
+Run with::
+
+    python examples/attack_optimization.py [probes_per_subarea] [seed]
+
+Probing the P-scheme costs a detector run per probe; the default (6
+probes per subarea) finishes in a few minutes.  Fewer probes are faster
+but noisier -- each probe redraws the attack timing, so small samples can
+wander off the true optimum region.
+"""
+
+import sys
+
+from repro import (
+    AttackGenerator,
+    ProductTarget,
+    PScheme,
+    RatingChallenge,
+    SearchArea,
+    SimpleAveragingScheme,
+    heuristic_region_search,
+)
+from repro.analysis.reporting import format_table
+
+
+def search_against(challenge, scheme, probes: int, seed: int):
+    by_volume = sorted(
+        challenge.fair_dataset.product_ids,
+        key=lambda pid: len(challenge.fair_dataset[pid]),
+    )
+    targets = [
+        ProductTarget(by_volume[0], -1),
+        ProductTarget(by_volume[1], -1),
+        ProductTarget(by_volume[2], +1),
+        ProductTarget(by_volume[3], +1),
+    ]
+    generator = AttackGenerator(
+        challenge.fair_dataset, challenge.config.biased_rater_ids(), seed=seed
+    )
+    evaluate = generator.evaluator(targets, challenge, scheme)
+    initial = SearchArea(bias_min=-4.0, bias_max=0.0, std_min=0.0, std_max=2.0)
+    return heuristic_region_search(
+        evaluate, initial, n_subareas=4, probes_per_subarea=probes
+    )
+
+
+def main(probes: int = 4, seed: int = 11) -> None:
+    challenge = RatingChallenge(seed=seed)
+    for scheme in (SimpleAveragingScheme(), PScheme()):
+        print(f"\nSearching the variance-bias plane against the "
+              f"{scheme.name}-scheme ({probes} probes per subarea)...")
+        result = search_against(challenge, scheme, probes, seed)
+        rows = []
+        for i, round_ in enumerate(result.rounds):
+            bias, std = round_.best_subarea.center
+            rows.append((i + 1, bias, std, round_.best_score))
+        print(
+            format_table(
+                ["round", "best bias", "best std", "best MP"],
+                rows,
+                title=f"search trace vs {scheme.name}",
+            )
+        )
+        bias, std = result.best_point
+        print(
+            f"strongest region vs {scheme.name}: bias={bias:.2f}, "
+            f"std={std:.2f} (best MP {result.best_mp:.3f})"
+        )
+    print(
+        "\nReading the result: the SA search output should sit near the"
+        "\nbias=-4 edge with variance irrelevant, while the P search output"
+        "\nneeds medium-to-large variance to survive the signal detectors"
+        "\n(paper Figure 5 reports a centre near bias -2.3, sigma 1.6)."
+    )
+
+
+if __name__ == "__main__":
+    probes = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 11
+    main(probes, seed)

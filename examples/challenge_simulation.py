@@ -1,0 +1,90 @@
+"""Simulate a full Rating Challenge round with a participant population.
+
+Reproduces the paper's data-collection setting end to end: a synthetic
+population of participants (straightforward, moderate, smart, burst, and
+experimental archetypes -- Section V-A reports that over half of the real
+submissions were straightforward) attacks the challenge, and a leaderboard
+is computed under each defense scheme.  The variance-bias structure of the
+winners (Figures 2-3) is summarized at the end.
+
+Run with::
+
+    python examples/challenge_simulation.py [population_size] [seed]
+
+Population sizes above ~100 take a few minutes under the P-scheme.
+"""
+
+import sys
+
+from repro import RatingChallenge, generate_population
+from repro.aggregation import BetaFilterScheme, PScheme, SimpleAveragingScheme
+from repro.analysis.bias_variance import VarianceBiasAnalysis
+from repro.analysis.reporting import format_table
+from repro.attacks.population import PopulationConfig
+
+
+def main(population_size: int = 40, seed: int = 2008) -> None:
+    print(f"Setting up the challenge (seed {seed})...")
+    challenge = RatingChallenge(seed=seed)
+
+    print(f"Generating {population_size} participant submissions...")
+    population = generate_population(
+        challenge, PopulationConfig(size=population_size), seed=seed + 1
+    )
+    by_archetype = {}
+    for submission in population:
+        by_archetype[submission.strategy] = by_archetype.get(submission.strategy, 0) + 1
+    print(f"  archetype mix: {by_archetype}")
+
+    attack_counts = {}
+    for submission in population:
+        for pid in submission.product_ids:
+            attack_counts[pid] = attack_counts.get(pid, 0) + 1
+    hottest = max(attack_counts, key=attack_counts.get)
+
+    for scheme in (SimpleAveragingScheme(), BetaFilterScheme(), PScheme()):
+        print(f"\nScoring the population under the {scheme.name}-scheme...")
+        mp_results = {
+            submission.submission_id: challenge.evaluate(
+                submission, scheme, validate=False
+            )
+            for submission in population
+        }
+        ranked = sorted(population, key=lambda s: -mp_results[s.submission_id].total)
+        rows = [
+            (i + 1, s.submission_id, s.strategy, mp_results[s.submission_id].total)
+            for i, s in enumerate(ranked[:8])
+        ]
+        print(
+            format_table(
+                ["rank", "submission", "archetype", "total MP"],
+                rows,
+                title=f"{scheme.name}-scheme leaderboard (top 8)",
+            )
+        )
+
+        # Variance-bias structure of the winners on the most-attacked product.
+        analysis = VarianceBiasAnalysis(top_n=max(3, population_size // 10))
+        points = analysis.build_points(
+            population, mp_results, challenge.fair_dataset, hottest
+        )
+        centroid = analysis.mean_winner_point(points)
+        dominant = analysis.dominant_winner_region(points)
+        if centroid is not None:
+            print(
+                f"winners on {hottest}: centroid bias={centroid[0]:.2f}, "
+                f"std={centroid[1]:.2f}, dominant region="
+                f"{dominant.value if dominant else 'none'}"
+            )
+
+    print(
+        "\nExpected shape (paper Figures 2-3): winners under SA sit at large"
+        "\nnegative bias and small variance (region R1); under the P-scheme"
+        "\nthey shift to moderate bias and larger variance (region R3)."
+    )
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 2008
+    main(size, seed)

@@ -1,0 +1,111 @@
+"""A guided tour of the four detectors and the Figure 1 joint detector.
+
+Crafts one product stream with a known attack window, runs each detector
+individually, renders its indicator curve as a text sparkline, and then
+shows what the joint detector (Path 1 / Path 2 integration) marks.
+
+Run with::
+
+    python examples/detector_tour.py [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.attacks import AttackGenerator, AttackSpec, ProductTarget, UniformWindow
+from repro.detectors import (
+    ArrivalRateDetector,
+    HistogramChangeDetector,
+    JointDetector,
+    MeanChangeDetector,
+    ModelErrorDetector,
+)
+from repro.marketplace import RatingChallenge
+
+SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values: np.ndarray, width: int = 72) -> str:
+    """Downsample a curve into a character strip."""
+    if values.size == 0:
+        return "(empty curve)"
+    bins = np.array_split(values, min(width, values.size))
+    peaks = np.array([float(b.max()) for b in bins])
+    top = peaks.max()
+    if top <= 0:
+        return " " * len(peaks)
+    scaled = np.clip(peaks / top * (len(SPARK_CHARS) - 1), 0, len(SPARK_CHARS) - 1)
+    return "".join(SPARK_CHARS[int(s)] for s in scaled)
+
+
+def main(seed: int = 3) -> None:
+    challenge = RatingChallenge(seed=seed)
+    generator = AttackGenerator(
+        challenge.fair_dataset, challenge.config.biased_rater_ids(), seed=seed
+    )
+    attack_start, attack_days = 30.0, 20.0
+    target = ProductTarget("tv1", -1)
+    spec = AttackSpec(
+        bias_magnitude=3.0,
+        std=0.3,
+        n_ratings=50,
+        time_model=UniformWindow(attack_start, attack_days),
+    )
+    submission = generator.generate([target], spec)
+    attacked = challenge.attacked_dataset(submission)
+    stream = attacked["tv1"]
+    span = stream.time_span()
+    print(
+        f"Stream: {len(stream)} ratings on tv1 over days "
+        f"[{span[0]:.0f}, {span[1]:.0f}] "
+        f"({int(stream.unfair.sum())} unfair, injected days "
+        f"{attack_start:.0f}-{attack_start + attack_days:.0f})"
+    )
+
+    print("\n--- Mean change detector (30-day GLRT windows) ---")
+    mc = MeanChangeDetector().analyze(stream)
+    print(f"MC curve:   |{sparkline(mc.curve.values)}|")
+    print(f"peaks: {len(mc.peaks)}, U-shape: {mc.u_shape is not None}")
+    if mc.u_shape:
+        print(
+            f"suspicious interval: days {mc.u_shape.start_time:.1f} to "
+            f"{mc.u_shape.stop_time:.1f}"
+        )
+
+    print("\n--- Arrival rate detectors (Poisson GLRT, two scales) ---")
+    for kind in ("H-ARC", "L-ARC"):
+        report = ArrivalRateDetector(kind).analyze(stream)
+        print(f"{kind} curve: |{sparkline(report.curve.values)}|")
+        print(
+            f"  peaks: {len(report.peaks)}, U-shape: "
+            f"{report.u_shape is not None}, alarm: {report.alarm}"
+        )
+
+    print("\n--- Histogram change detector (40-rating cluster windows) ---")
+    hc = HistogramChangeDetector().analyze(stream)
+    print(f"HC curve:   |{sparkline(hc.curve.values)}|")
+    print(f"suspicious intervals: {len(hc.suspicious_intervals)}")
+
+    print("\n--- Signal model change detector (AR(4) covariance fit) ---")
+    me = ModelErrorDetector().analyze(stream)
+    # Low model error is suspicious: invert for display.
+    inverted = (me.curve.values.max() - me.curve.values) if len(me.curve) else me.curve.values
+    print(f"ME curve*:  |{sparkline(inverted)}|   (*inverted: tall = predictable)")
+    print(f"suspicious intervals: {len(me.suspicious_intervals)}")
+
+    print("\n--- Joint detector (Figure 1 integration) ---")
+    report = JointDetector().analyze(stream)
+    unfair = stream.unfair
+    recall = (report.suspicious & unfair).sum() / max(int(unfair.sum()), 1)
+    collateral = (report.suspicious & ~unfair).sum()
+    print(f"marked suspicious: {report.num_suspicious} ratings")
+    print(f"attack recall: {recall:.0%}, fair ratings caught: {int(collateral)}")
+    print(f"Path 1 intervals: {len(report.path1_intervals)}, "
+          f"Path 2 intervals: {len(report.path2_intervals)}")
+    for interval in report.intervals()[:3]:
+        print(f"  suspicious: days {interval.start:.1f} to {interval.stop:.1f}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3)

@@ -1,0 +1,110 @@
+"""Operating the reliable rating system online.
+
+Streams ratings into :class:`repro.online.OnlineRatingSystem` one at a
+time, the way a deployed site would see them: 45 days of pre-existing
+history prime the detectors, honest live traffic flows in, and an unfair
+rating campaign hits mid-stream.  Scores are published at every 30-day
+epoch; the P-scheme's published trajectory is compared against the
+undefended average.
+
+Run with::
+
+    python examples/online_monitoring.py [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import PScheme, RatingChallenge, SimpleAveragingScheme
+from repro.analysis.reporting import format_table
+from repro.attacks import AttackGenerator, AttackSpec, ProductTarget, UniformWindow
+from repro.online import OnlineRatingSystem
+from repro.types import Rating, RatingDataset
+
+
+def split_history(challenge):
+    """Separate the world's pre-challenge history from live traffic."""
+    history_streams = []
+    live_ratings = []
+    for pid in challenge.fair_dataset:
+        stream = challenge.fair_dataset[pid]
+        history_streams.append(
+            stream.subset(stream.times < challenge.start_day)
+        )
+        live = stream.subset(stream.times >= challenge.start_day)
+        live_ratings.extend(live)
+    return RatingDataset(history_streams), live_ratings
+
+
+def main(seed: int = 9) -> None:
+    challenge = RatingChallenge(seed=seed)
+    history, live = split_history(challenge)
+    print(
+        f"History: {history.total_ratings()} ratings before day "
+        f"{challenge.start_day:.0f}; live traffic: {len(live)} ratings."
+    )
+
+    generator = AttackGenerator(
+        challenge.fair_dataset, challenge.config.biased_rater_ids(), seed=seed
+    )
+    submission = generator.generate(
+        [ProductTarget("tv1", -1), ProductTarget("tv2", -1)],
+        AttackSpec(3.0, 0.3, 50, UniformWindow(32.0, 20.0)),
+        submission_id="live_campaign",
+    )
+    attack_ratings = [r for s in submission.streams.values() for r in s]
+    print(
+        f"Attack campaign: {len(attack_ratings)} unfair ratings on tv1/tv2, "
+        "days 32-52."
+    )
+
+    feed = sorted(live + attack_ratings)
+    systems = {
+        "SA": OnlineRatingSystem(
+            SimpleAveragingScheme(), start_day=challenge.start_day,
+            period_days=30.0, history=history,
+        ),
+        "P": OnlineRatingSystem(
+            PScheme(), start_day=challenge.start_day,
+            period_days=30.0, history=history,
+        ),
+    }
+    for name, system in systems.items():
+        system.submit_many(feed)
+        while system.current_epoch_start < challenge.end_day:
+            system.close_epoch()
+
+    fair_monthly = SimpleAveragingScheme().monthly_scores(
+        challenge.fair_dataset, 30.0, challenge.start_day, challenge.end_day
+    )
+    rows = []
+    for epoch in range(len(systems["SA"].reports)):
+        for pid in ("tv1", "tv2"):
+            truth = fair_monthly[pid][epoch]
+            rows.append(
+                (
+                    epoch + 1,
+                    pid,
+                    truth,
+                    systems["SA"].reports[epoch].score_of(pid),
+                    systems["P"].reports[epoch].score_of(pid),
+                )
+            )
+    print(
+        format_table(
+            ["month", "product", "fair mean", "SA publishes", "P publishes"],
+            rows,
+            title="Published scores under live attack",
+        )
+    )
+    print(
+        "\nThe attacked months' SA scores dip visibly below the fair mean;"
+        "\nthe P-scheme's published scores stay close to it -- the joint"
+        "\ndetector flagged the campaign as it streamed in, the trust"
+        "\nmanager demoted the attacking accounts, and Eq. 7 silenced them."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 9)

@@ -1,0 +1,83 @@
+"""Quickstart: attack a rating challenge and watch the defenses react.
+
+Builds the nine-TV challenge world, generates one collaborative unfair
+rating attack with the attack generator (Figure 8 of the paper), and
+evaluates its Manipulation Power under the three defenses the paper
+compares: plain averaging (SA), beta-function filtering (BF), and the
+proposed signal-based system (P).
+
+Run with::
+
+    python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro import (
+    AttackGenerator,
+    AttackSpec,
+    BetaFilterScheme,
+    ProductTarget,
+    PScheme,
+    RatingChallenge,
+    SimpleAveragingScheme,
+    UniformWindow,
+)
+
+
+def main(seed: int = 7) -> None:
+    print("Building the challenge world (9 TVs, fair raters, 82 days)...")
+    challenge = RatingChallenge(seed=seed)
+    for product_id in challenge.fair_dataset.product_ids[:3]:
+        stream = challenge.fair_dataset[product_id]
+        print(
+            f"  {product_id}: {len(stream)} fair ratings, "
+            f"mean {stream.mean_value():.2f}"
+        )
+    print("  ...")
+
+    print("\nGenerating a collaborative attack (50 biased raters):")
+    generator = AttackGenerator(
+        challenge.fair_dataset,
+        challenge.config.biased_rater_ids(),
+        seed=seed,
+    )
+    targets = [
+        ProductTarget("tv1", -1),  # downgrade
+        ProductTarget("tv2", -1),  # downgrade
+        ProductTarget("tv3", +1),  # boost
+        ProductTarget("tv4", +1),  # boost
+    ]
+    spec = AttackSpec(
+        bias_magnitude=2.5,
+        std=0.4,
+        n_ratings=50,
+        time_model=UniformWindow(start=25.0, duration=30.0),
+    )
+    submission = generator.generate(targets, spec, submission_id="quickstart")
+    challenge.validate(submission)
+    print(
+        f"  {submission.total_ratings()} unfair ratings over "
+        f"{len(submission.product_ids)} products "
+        f"(bias ±{spec.bias_magnitude}, std {spec.std})"
+    )
+
+    print("\nManipulation Power under each defense scheme:")
+    print("  (MP sums each attacked product's two worst monthly score")
+    print("   deviations; higher = stronger attack)")
+    for scheme in (SimpleAveragingScheme(), BetaFilterScheme(), PScheme()):
+        result = challenge.evaluate(submission, scheme)
+        attacked = {
+            pid: round(mp, 3)
+            for pid, mp in result.per_product.items()
+            if pid in submission.product_ids
+        }
+        print(f"  {scheme.name:>2}-scheme: total MP = {result.total:.3f}  {attacked}")
+
+    print("\nThe signal-based P-scheme should report a small fraction of the")
+    print("undefended SA-scheme's MP: the detectors found the unfair block,")
+    print("the trust manager demoted its raters, and Eq. 7 zeroed them out.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7)

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` requires `wheel` for PEP 660 editable builds; this shim
+lets `python setup.py develop` provide the same editable install offline.
+Configuration lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,120 @@
+"""repro -- reproduction of "Modeling Attack Behaviors in Rating Systems".
+
+(Feng, Yang, Sun, Dai -- ICDCS Workshops 2008.)
+
+The library provides, from scratch:
+
+- a rating-system substrate with a calibrated fair-rating world and the
+  paper's Rating Challenge rules (:mod:`repro.marketplace`);
+- the signal-processing primitives and the four unfair-rating detectors
+  plus their Figure 1 integration (:mod:`repro.signal`,
+  :mod:`repro.detectors`);
+- beta trust and the Procedure 1 trust manager (:mod:`repro.trust`);
+- the three aggregation schemes compared in the paper -- SA, BF, and the
+  proposed signal-based P-scheme (:mod:`repro.aggregation`);
+- the paper's contribution: attack behaviour models and the unfair-rating
+  generator with Procedure 2 optimization and Procedure 3 correlation
+  (:mod:`repro.attacks`);
+- the Section V analyses and one runner per evaluation figure
+  (:mod:`repro.analysis`, :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import RatingChallenge, AttackGenerator, AttackSpec
+    from repro import ProductTarget, PScheme, UniformWindow
+
+    challenge = RatingChallenge(seed=7)
+    generator = AttackGenerator(
+        challenge.fair_dataset, challenge.config.biased_rater_ids(), seed=7
+    )
+    submission = generator.generate(
+        [ProductTarget("tv1", -1), ProductTarget("tv3", +1)],
+        AttackSpec(bias_magnitude=2.0, std=1.0,
+                   time_model=UniformWindow(20.0, 40.0)),
+    )
+    result = challenge.evaluate(submission, PScheme())
+    print(result.total)
+"""
+
+from repro.aggregation import (
+    BetaFilterConfig,
+    BetaFilterScheme,
+    PScheme,
+    PSchemeConfig,
+    SimpleAveragingScheme,
+)
+from repro.attacks import (
+    AttackGenerator,
+    AttackSpec,
+    AttackSubmission,
+    ConcentratedBurst,
+    EvenlySpaced,
+    PoissonTimes,
+    ProductTarget,
+    SearchArea,
+    UniformWindow,
+    generate_population,
+    heuristic_region_search,
+)
+from repro.detectors import DetectionReport, DetectorConfig, JointDetector
+from repro.errors import (
+    AttackSpecError,
+    ChallengeRuleError,
+    ReproError,
+    ValidationError,
+)
+from repro.marketplace import (
+    ChallengeConfig,
+    FairRatingConfig,
+    FairRatingGenerator,
+    MPResult,
+    Product,
+    RatingChallenge,
+    default_tv_lineup,
+    manipulation_power,
+)
+from repro.trust import TrustManager
+from repro.types import DEFAULT_SCALE, Rating, RatingDataset, RatingScale, RatingStream
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BetaFilterConfig",
+    "BetaFilterScheme",
+    "PScheme",
+    "PSchemeConfig",
+    "SimpleAveragingScheme",
+    "AttackGenerator",
+    "AttackSpec",
+    "AttackSubmission",
+    "ConcentratedBurst",
+    "EvenlySpaced",
+    "PoissonTimes",
+    "ProductTarget",
+    "SearchArea",
+    "UniformWindow",
+    "generate_population",
+    "heuristic_region_search",
+    "DetectionReport",
+    "DetectorConfig",
+    "JointDetector",
+    "AttackSpecError",
+    "ChallengeRuleError",
+    "ReproError",
+    "ValidationError",
+    "ChallengeConfig",
+    "FairRatingConfig",
+    "FairRatingGenerator",
+    "MPResult",
+    "Product",
+    "RatingChallenge",
+    "default_tv_lineup",
+    "manipulation_power",
+    "TrustManager",
+    "DEFAULT_SCALE",
+    "Rating",
+    "RatingDataset",
+    "RatingScale",
+    "RatingStream",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Analyses of attack data (paper Section V).
+
+- :mod:`repro.analysis.bias_variance` -- the variance-bias plane of
+  Figures 2-4: per-submission (bias, sigma) extraction, AMP/LMP/UMP
+  top-10 marking, colour coding, and R1/R2/R3 region classification.
+- :mod:`repro.analysis.time_domain` -- the Figure 6 time analysis
+  (MP versus average unfair-rating interval).
+- :mod:`repro.analysis.correlation_exp` -- the Figure 7 experiment
+  (heuristic correlation versus original versus random ordering).
+- :mod:`repro.analysis.reporting` -- plain-text tables/series used by the
+  benchmark harness to print the paper's rows.
+"""
+
+from repro.analysis.bias_variance import (
+    Region,
+    SubmissionPoint,
+    VarianceBiasAnalysis,
+    classify_region,
+    submission_bias_std,
+)
+from repro.analysis.correlation_exp import CorrelationExperiment, CorrelationRow
+from repro.analysis.landscape import MPLandscape, sweep_landscape
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.time_domain import TimeDomainAnalysis, TimePoint
+
+__all__ = [
+    "Region",
+    "SubmissionPoint",
+    "VarianceBiasAnalysis",
+    "classify_region",
+    "submission_bias_std",
+    "CorrelationExperiment",
+    "CorrelationRow",
+    "MPLandscape",
+    "sweep_landscape",
+    "format_series",
+    "format_table",
+    "TimeDomainAnalysis",
+    "TimePoint",
+]

@@ -1,0 +1,231 @@
+"""Variance-bias analysis of attack submissions (paper Section V-B).
+
+For one product, a submission's unfair ratings are summarized by
+
+- **bias** -- mean(unfair values) - mean(fair values), negative for
+  downgrading;
+- **std** -- the standard deviation of the unfair values.
+
+Strong submissions are marked like the paper marks its scatter points:
+
+- **AMP** -- the submission is among the top 10 *overall* MP values;
+- **LMP(k)** -- among submissions with negative bias on product ``k``, its
+  product-``k`` MP is in the top 10;
+- **UMP(k)** -- same with positive bias.
+
+Colour coding follows the paper's legend (grey, green=AMP, pink=LMP,
+cyan=UMP, red=AMP+LMP, blue=AMP+UMP).
+
+For negative bias the plane splits into the three regions of the paper's
+discussion: R1 (large bias, small-medium variance), R2 (medium bias,
+small-medium variance), R3 (medium bias, medium-large variance).  The key
+reproduction check: LMP winners cluster in **R3 under the P-scheme** but
+in **R1 under the SA/BF schemes**.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.base import AttackSubmission
+from repro.errors import ValidationError
+from repro.marketplace.mp import MPResult
+from repro.types import RatingDataset
+
+__all__ = [
+    "Region",
+    "classify_region",
+    "submission_bias_std",
+    "SubmissionPoint",
+    "VarianceBiasAnalysis",
+]
+
+
+class Region(enum.Enum):
+    """Regions of the negative-bias half of the variance-bias plane."""
+
+    R1 = "R1"  # large negative bias, small-to-medium variance
+    R2 = "R2"  # medium bias, small-to-medium variance
+    R3 = "R3"  # medium bias, medium-to-large variance
+    OTHER = "other"  # positive bias or outside the R1-R3 partition
+
+
+def classify_region(
+    bias: float,
+    std: float,
+    bias_split: float = -2.5,
+    std_split: float = 0.6,
+) -> Region:
+    """Classify one (bias, std) point into R1/R2/R3.
+
+    The paper describes the regions qualitatively; the default splits put
+    "large" bias beyond -2.5 and "medium-to-large" variance above 0.6.
+    Positive-bias points return :attr:`Region.OTHER` (the paper notes the
+    boosting half has too little resolution to partition).
+    """
+    if bias >= 0:
+        return Region.OTHER
+    if bias <= bias_split:
+        return Region.R1 if std <= std_split else Region.OTHER
+    return Region.R2 if std <= std_split else Region.R3
+
+
+def submission_bias_std(
+    submission: AttackSubmission,
+    fair_dataset: RatingDataset,
+    product_id: str,
+) -> Optional[Tuple[float, float]]:
+    """``(bias, std)`` of a submission's unfair values on one product.
+
+    ``None`` when the submission does not attack the product.
+    """
+    stream = submission.stream_for(product_id)
+    if stream is None or len(stream) == 0:
+        return None
+    fair_mean = fair_dataset[product_id].mean_value()
+    return (
+        float(stream.values.mean() - fair_mean),
+        float(stream.values.std()),
+    )
+
+
+@dataclass
+class SubmissionPoint:
+    """One scatter point of a Figure 2/3/4 style plot."""
+
+    submission_id: str
+    strategy: str
+    bias: float
+    std: float
+    product_mp: float
+    total_mp: float
+    marks: set = field(default_factory=set)
+
+    @property
+    def region(self) -> Region:
+        """R1/R2/R3 classification of the point."""
+        return classify_region(self.bias, self.std)
+
+    @property
+    def color(self) -> str:
+        """The paper's colour legend for this point's mark combination."""
+        has_amp = "AMP" in self.marks
+        has_lmp = "LMP" in self.marks
+        has_ump = "UMP" in self.marks
+        if has_amp and has_lmp:
+            return "red"
+        if has_amp and has_ump:
+            return "blue"
+        if has_amp:
+            return "green"
+        if has_lmp:
+            return "pink"
+        if has_ump:
+            return "cyan"
+        return "grey"
+
+
+class VarianceBiasAnalysis:
+    """Builds the variance-bias scatter for one product and one scheme."""
+
+    def __init__(self, top_n: int = 10) -> None:
+        if top_n < 1:
+            raise ValidationError(f"top_n must be >= 1, got {top_n}")
+        self.top_n = top_n
+
+    def build_points(
+        self,
+        submissions: Sequence[AttackSubmission],
+        results: Dict[str, MPResult],
+        fair_dataset: RatingDataset,
+        product_id: str,
+    ) -> List[SubmissionPoint]:
+        """Scatter points for ``product_id`` with AMP/LMP/UMP marks.
+
+        ``results`` maps submission id to its MP result under the scheme
+        being analysed.  Submissions that do not attack ``product_id``
+        are skipped (they have no (bias, std) on this product).
+        """
+        points: List[SubmissionPoint] = []
+        for submission in submissions:
+            if submission.submission_id not in results:
+                raise ValidationError(
+                    f"no MP result for submission {submission.submission_id!r}"
+                )
+            stats = submission_bias_std(submission, fair_dataset, product_id)
+            if stats is None:
+                continue
+            bias, std = stats
+            result = results[submission.submission_id]
+            points.append(
+                SubmissionPoint(
+                    submission_id=submission.submission_id,
+                    strategy=submission.strategy,
+                    bias=bias,
+                    std=std,
+                    product_mp=float(result.per_product.get(product_id, 0.0)),
+                    total_mp=float(result.total),
+                )
+            )
+        self._apply_marks(points)
+        return points
+
+    def _apply_marks(self, points: List[SubmissionPoint]) -> None:
+        if not points:
+            return
+        by_total = sorted(points, key=lambda p: -p.total_mp)
+        for point in by_total[: self.top_n]:
+            point.marks.add("AMP")
+        negative = sorted(
+            (p for p in points if p.bias < 0), key=lambda p: -p.product_mp
+        )
+        for point in negative[: self.top_n]:
+            point.marks.add("LMP")
+        positive = sorted(
+            (p for p in points if p.bias >= 0), key=lambda p: -p.product_mp
+        )
+        for point in positive[: self.top_n]:
+            point.marks.add("UMP")
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def winner_region_counts(points: Sequence[SubmissionPoint]) -> Dict[Region, int]:
+        """How many LMP winners fall into each region.
+
+        This is the quantitative form of the paper's headline reading of
+        Figures 2-4 ("the submissions with large MP values are
+        concentrated in region ...").
+        """
+        counts: Dict[Region, int] = {r: 0 for r in Region}
+        for point in points:
+            if "LMP" in point.marks:
+                counts[point.region] += 1
+        return counts
+
+    @staticmethod
+    def dominant_winner_region(points: Sequence[SubmissionPoint]) -> Optional[Region]:
+        """The region holding the most LMP winners (ties broken R1<R2<R3)."""
+        counts = VarianceBiasAnalysis.winner_region_counts(points)
+        total = sum(counts.values())
+        if total == 0:
+            return None
+        order = [Region.R1, Region.R2, Region.R3, Region.OTHER]
+        return max(order, key=lambda r: counts[r])
+
+    @staticmethod
+    def mean_winner_point(
+        points: Sequence[SubmissionPoint],
+    ) -> Optional[Tuple[float, float]]:
+        """Centroid (bias, std) of the LMP winners."""
+        winners = [p for p in points if "LMP" in p.marks]
+        if not winners:
+            return None
+        return (
+            float(np.mean([p.bias for p in winners])),
+            float(np.mean([p.std for p in winners])),
+        )

@@ -1,0 +1,161 @@
+"""The correlation experiment (paper Section V-D, Figure 7).
+
+The paper takes the unfair rating datasets with the top 10 MP values,
+re-orders *which value is given at which time* in two ways -- the
+Procedure 3 heuristic (anti-correlate with the preceding fair value) and
+random shuffles (5 per dataset) -- and compares the resulting MP values.
+Finding: the heuristic ordering beats the original human ordering most of
+the time, and the random re-orderings bracket the original; correlation
+with the fair ratings is an unexploited attack dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.base import AttackSubmission, build_attack_stream
+from repro.attacks.correlation import heuristic_correlation_match, random_match
+from repro.errors import ValidationError
+from repro.types import RatingDataset, RatingStream
+from repro.utils.rng import SeedLike, resolve_rng
+
+__all__ = ["CorrelationRow", "CorrelationExperiment"]
+
+
+@dataclass(frozen=True)
+class CorrelationRow:
+    """Figure 7 data for one top-MP dataset."""
+
+    submission_id: str
+    original_mp: float
+    heuristic_mp: float
+    random_mps: Tuple[float, ...]
+
+    @property
+    def random_mean(self) -> float:
+        """Mean MP over the random re-orderings."""
+        return float(np.mean(self.random_mps)) if self.random_mps else float("nan")
+
+    @property
+    def heuristic_wins(self) -> bool:
+        """Whether the heuristic ordering beat the original."""
+        return self.heuristic_mp > self.original_mp
+
+
+def _reorder_stream(
+    stream: RatingStream,
+    fair_stream: RatingStream,
+    mode: str,
+    rng,
+) -> RatingStream:
+    """A copy of ``stream`` with values re-assigned to its times."""
+    if mode == "heuristic":
+        times, values = heuristic_correlation_match(
+            stream.times, stream.values, fair_stream
+        )
+    elif mode == "random":
+        times, values = random_match(stream.times, stream.values, seed=rng)
+    else:
+        raise ValidationError(f"unknown reorder mode {mode!r}")
+    return build_attack_stream(stream.product_id, times, values, stream.rater_ids)
+
+
+def reorder_submission(
+    submission: AttackSubmission,
+    fair_dataset: RatingDataset,
+    mode: str,
+    seed: SeedLike = None,
+    suffix: str = "",
+) -> AttackSubmission:
+    """A submission with every attacked product's values re-ordered."""
+    rng = resolve_rng(seed)
+    streams = {
+        product_id: _reorder_stream(stream, fair_dataset[product_id], mode, rng)
+        for product_id, stream in submission.streams.items()
+    }
+    return AttackSubmission(
+        submission_id=submission.submission_id + suffix,
+        streams=streams,
+        strategy=submission.strategy,
+        params=dict(submission.params, reorder=mode),
+    )
+
+
+class CorrelationExperiment:
+    """Runs the Figure 7 comparison over the top-MP submissions."""
+
+    def __init__(self, top_n: int = 10, random_shuffles: int = 5) -> None:
+        if top_n < 1:
+            raise ValidationError(f"top_n must be >= 1, got {top_n}")
+        if random_shuffles < 1:
+            raise ValidationError(
+                f"random_shuffles must be >= 1, got {random_shuffles}"
+            )
+        self.top_n = top_n
+        self.random_shuffles = random_shuffles
+
+    def select_top(
+        self,
+        submissions: Sequence[AttackSubmission],
+        results: Dict[str, "object"],
+    ) -> List[AttackSubmission]:
+        """The ``top_n`` submissions by total MP under the given results."""
+        ranked = sorted(
+            submissions,
+            key=lambda s: -results[s.submission_id].total,
+        )
+        return list(ranked[: self.top_n])
+
+    def run(
+        self,
+        challenge,
+        submissions: Sequence[AttackSubmission],
+        results: Dict[str, "object"],
+        scheme,
+        seed: SeedLike = None,
+    ) -> List[CorrelationRow]:
+        """Full experiment: re-order each top submission and re-score it.
+
+        ``results`` are the submissions' original MP results under
+        ``scheme`` (used both for ranking and as the "original" bar).
+        """
+        rng = resolve_rng(seed)
+        rows: List[CorrelationRow] = []
+        for submission in self.select_top(submissions, results):
+            original_mp = float(results[submission.submission_id].total)
+            heuristic = reorder_submission(
+                submission, challenge.fair_dataset, "heuristic", suffix="_heur"
+            )
+            heuristic_mp = challenge.evaluate(heuristic, scheme, validate=False).total
+            random_mps = []
+            for shuffle_idx in range(self.random_shuffles):
+                shuffled = reorder_submission(
+                    submission,
+                    challenge.fair_dataset,
+                    "random",
+                    seed=rng,
+                    suffix=f"_rand{shuffle_idx}",
+                )
+                random_mps.append(
+                    challenge.evaluate(shuffled, scheme, validate=False).total
+                )
+            rows.append(
+                CorrelationRow(
+                    submission_id=submission.submission_id,
+                    original_mp=original_mp,
+                    heuristic_mp=float(heuristic_mp),
+                    random_mps=tuple(float(v) for v in random_mps),
+                )
+            )
+        return rows
+
+    @staticmethod
+    def heuristic_win_fraction(rows: Sequence[CorrelationRow]) -> float:
+        """Fraction of datasets where the heuristic beat the original."""
+        if not rows:
+            raise ValidationError("no correlation rows")
+        wins = sum(1 for row in rows if row.heuristic_wins)
+        return wins / len(rows)

@@ -1,0 +1,94 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmark harness reproduces the paper's tables and figures as text:
+tables as aligned columns, figure series as ``x -> y`` listings.  Keeping
+the renderer here (rather than in each bench) makes the bench output
+uniform and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["format_table", "format_series", "format_histogram"]
+
+
+def _stringify(cell: object, float_format: str) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float) or isinstance(cell, np.floating):
+        if not np.isfinite(cell):
+            return "-"
+        return format(float(cell), float_format)
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = ".3f",
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table.
+
+    Floats are formatted with ``float_format``; NaN/inf render as ``-``.
+    """
+    str_rows: List[List[str]] = [
+        [_stringify(cell, float_format) for cell in row] for row in rows
+    ]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    float_format: str = ".3f",
+) -> str:
+    """Render one figure series as an ``x -> y`` listing."""
+    if len(xs) != len(ys):
+        raise ValidationError(f"{len(xs)} x values but {len(ys)} y values")
+    rows = [(x, y) for x, y in zip(xs, ys)]
+    return format_table(
+        [x_label, y_label], rows, float_format=float_format, title=name
+    )
+
+
+def format_histogram(
+    name: str,
+    labels: Sequence[str],
+    counts: Sequence[int],
+    width: int = 40,
+) -> str:
+    """Render labelled counts as a text bar chart."""
+    if len(labels) != len(counts):
+        raise ValidationError(f"{len(labels)} labels but {len(counts)} counts")
+    peak = max(counts) if counts else 0
+    lines = [name]
+    label_width = max((len(l) for l in labels), default=0)
+    for label, count in zip(labels, counts):
+        bar = "#" * (0 if peak == 0 else int(round(width * count / peak)))
+        lines.append(f"{label.ljust(label_width)}  {str(count).rjust(5)}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Attack models and the unfair-rating generator (the paper's contribution).
+
+- :mod:`repro.attacks.base` -- the :class:`AttackSubmission` container (one
+  challenge entry: unfair rating streams for the attacked products).
+- :mod:`repro.attacks.value_models` -- rating-value-set generation from
+  (bias, variance), Section V-B.
+- :mod:`repro.attacks.time_models` -- rating-time-set generation from
+  arrival rate / attack duration, Section V-C.
+- :mod:`repro.attacks.correlation` -- value-to-time mappers, including the
+  paper's Procedure 3 heuristic correlation, Section V-D.
+- :mod:`repro.attacks.generator` -- the composite attack generator of
+  Figure 8 (value set -> time set -> mapper -> submission).
+- :mod:`repro.attacks.optimizer` -- Procedure 2: heuristic search for the
+  strongest (bias, variance) region against a given defense.
+- :mod:`repro.attacks.strategies` -- the simple attack models used by prior
+  work (ballot stuffing, bad mouthing, probabilistic lying, ...).
+- :mod:`repro.attacks.population` -- a synthetic 251-entry challenge
+  population spanning the strategy space the paper observed.
+"""
+
+from repro.attacks.advanced import camouflage_attack, split_burst_attack, sybil_flood
+from repro.attacks.base import AttackSubmission, ProductTarget
+from repro.attacks.correlation import (
+    heuristic_correlation_match,
+    identity_match,
+    random_match,
+)
+from repro.attacks.generator import AttackGenerator, AttackSpec
+from repro.attacks.optimizer import RegionSearchResult, SearchArea, heuristic_region_search
+from repro.attacks.population import PopulationConfig, generate_population
+from repro.attacks.strategies import (
+    bad_mouthing,
+    ballot_stuffing,
+    probabilistic_lying,
+    random_unfair,
+)
+from repro.attacks.time_models import (
+    ConcentratedBurst,
+    EvenlySpaced,
+    PoissonTimes,
+    UniformWindow,
+)
+from repro.attacks.value_models import ValueSetSpec, generate_value_set
+
+__all__ = [
+    "camouflage_attack",
+    "split_burst_attack",
+    "sybil_flood",
+    "AttackSubmission",
+    "ProductTarget",
+    "heuristic_correlation_match",
+    "identity_match",
+    "random_match",
+    "AttackGenerator",
+    "AttackSpec",
+    "RegionSearchResult",
+    "SearchArea",
+    "heuristic_region_search",
+    "PopulationConfig",
+    "generate_population",
+    "bad_mouthing",
+    "ballot_stuffing",
+    "probabilistic_lying",
+    "random_unfair",
+    "ConcentratedBurst",
+    "EvenlySpaced",
+    "PoissonTimes",
+    "UniformWindow",
+    "ValueSetSpec",
+    "generate_value_set",
+]

@@ -1,0 +1,258 @@
+"""Advanced adversarial strategies against trust-based defenses.
+
+The paper's collected attacks manipulate values and times; its future-work
+section anticipates smarter adversaries.  Two such strategies are
+implemented here because they specifically probe the *trust* layer of the
+P-scheme rather than the signal layer:
+
+- :func:`camouflage_attack` -- each biased rater first submits honest-
+  looking ratings (at the fair mean) on half of the targets, *early*,
+  building beta-trust evidence; only later do they strike the remaining
+  targets.  Against Procedure 1 this raises the raters' trust above the
+  neutral 0.5 before the attack, so Eq. 7 initially weights their unfair
+  ratings like honest ones.  The cost is real: the camouflage ratings
+  slightly *help* the products they want to hurt.
+- :func:`split_burst_attack` -- the unfair ratings are split into several
+  short, well-separated bursts sized to stay below the arrival-rate
+  detectors' thresholds, while the monthly MP metric still sees
+  concentrated damage in its top-2 months.
+
+A third strategy, :func:`sybil_flood`, models the threat the challenge
+rules exclude: an attacker who can mint *unlimited fresh identities*
+(Sybil accounts), one rating each.  It deliberately violates the
+challenge's 50-rater budget -- evaluate it with
+:func:`repro.marketplace.mp.manipulation_power` directly -- and probes how
+each defense behaves when identity creation is free: under Eq. 7 a fresh
+identity carries the neutral trust 0.5 and therefore zero weight, so the
+P-scheme is structurally resistant, while averaging-based schemes are
+fully exposed.
+
+The challenge-legal strategies return standard
+:class:`~repro.attacks.base.AttackSubmission` objects and respect the
+rules (each rater rates each product at most once).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.attacks.base import AttackSubmission, ProductTarget, build_attack_stream
+from repro.attacks.value_models import ValueSetSpec, generate_value_set
+from repro.errors import AttackSpecError
+from repro.types import DEFAULT_SCALE, RatingDataset, RatingScale
+from repro.utils.rng import SeedLike, resolve_rng
+
+__all__ = ["camouflage_attack", "split_burst_attack", "sybil_flood"]
+
+
+def camouflage_attack(
+    fair_dataset: RatingDataset,
+    targets: Sequence[ProductTarget],
+    rater_ids: Sequence[str],
+    bias_magnitude: float = 2.5,
+    std: float = 0.5,
+    camouflage_noise: float = 0.3,
+    camouflage_end: float = 30.0,
+    strike_start: float = 45.0,
+    strike_duration: float = 20.0,
+    scale: RatingScale = DEFAULT_SCALE,
+    seed: SeedLike = None,
+    submission_id: str = "camouflage",
+) -> AttackSubmission:
+    """Build trust first, strike later.
+
+    The biased raters are split into two squads.  During the camouflage
+    phase (before ``camouflage_end``) each squad rates *the other squad's
+    target products* honestly -- values drawn around the fair mean with
+    ``camouflage_noise`` -- accumulating clean beta evidence.  During the
+    strike phase (``strike_start`` onward) each squad attacks its own
+    targets with the requested (bias, std) values.
+
+    Requires at least two targets (the squads need disjoint strike sets).
+    """
+    targets = list(targets)
+    if len(targets) < 2:
+        raise AttackSpecError("camouflage needs at least two targets")
+    if camouflage_end >= strike_start:
+        raise AttackSpecError(
+            "camouflage phase must end before the strike starts "
+            f"(got end={camouflage_end}, strike={strike_start})"
+        )
+    rater_ids = list(rater_ids)
+    if len(rater_ids) < 2:
+        raise AttackSpecError("camouflage needs at least two biased raters")
+    rng = resolve_rng(seed)
+
+    half = len(targets) // 2
+    squads = [targets[:half], targets[half:]]
+    squad_raters = [rater_ids[: len(rater_ids) // 2], rater_ids[len(rater_ids) // 2 :]]
+
+    # Per product: (times, values, raters) accumulated across phases.
+    per_product = {t.product_id: ([], [], []) for t in targets}
+
+    for squad_index, strike_targets in enumerate(squads):
+        raters = squad_raters[squad_index]
+        camouflage_targets = squads[1 - squad_index]
+        # Phase 1: honest-looking ratings on the other squad's products.
+        for target in camouflage_targets:
+            fair_mean = fair_dataset[target.product_id].mean_value()
+            times = np.sort(rng.uniform(0.0, camouflage_end, len(raters)))
+            values = scale.clip(rng.normal(fair_mean, camouflage_noise, len(raters)))
+            bucket = per_product[target.product_id]
+            bucket[0].extend(times.tolist())
+            bucket[1].extend(values.tolist())
+            bucket[2].extend(raters)
+        # Phase 2: strike the squad's own products.
+        for target in strike_targets:
+            fair_mean = fair_dataset[target.product_id].mean_value()
+            spec = ValueSetSpec(bias=target.direction * bias_magnitude, std=std)
+            values = generate_value_set(
+                len(raters), fair_mean, spec, scale=scale, seed=rng
+            )
+            times = np.sort(
+                rng.uniform(strike_start, strike_start + strike_duration, len(raters))
+            )
+            bucket = per_product[target.product_id]
+            bucket[0].extend(times.tolist())
+            bucket[1].extend(values.tolist())
+            bucket[2].extend(raters)
+
+    streams = {
+        product_id: build_attack_stream(product_id, times, values, raters)
+        for product_id, (times, values, raters) in per_product.items()
+    }
+    return AttackSubmission(
+        submission_id=submission_id,
+        streams=streams,
+        strategy="camouflage",
+        params={
+            "bias_magnitude": bias_magnitude,
+            "std": std,
+            "camouflage_end": camouflage_end,
+            "strike_start": strike_start,
+            "targets": {t.product_id: t.direction for t in targets},
+        },
+    )
+
+
+def split_burst_attack(
+    fair_dataset: RatingDataset,
+    targets: Sequence[ProductTarget],
+    rater_ids: Sequence[str],
+    bias_magnitude: float = 2.5,
+    std: float = 0.5,
+    n_bursts: int = 4,
+    burst_width: float = 3.0,
+    first_burst: float = 10.0,
+    burst_spacing: float = 18.0,
+    scale: RatingScale = DEFAULT_SCALE,
+    seed: SeedLike = None,
+    submission_id: str = "split_burst",
+) -> AttackSubmission:
+    """Several small bursts instead of one detectable block.
+
+    The raters are divided evenly over ``n_bursts`` bursts of width
+    ``burst_width`` days, starting at ``first_burst`` and spaced
+    ``burst_spacing`` apart.  Each burst alone adds only a small number of
+    ratings per day, weakening the arrival-rate signature, while the MP
+    metric's top-2-months rule still collects the damage.
+    """
+    targets = list(targets)
+    if not targets:
+        raise AttackSpecError("at least one target is required")
+    if n_bursts < 1:
+        raise AttackSpecError(f"n_bursts must be >= 1, got {n_bursts}")
+    if burst_width <= 0 or burst_spacing <= 0:
+        raise AttackSpecError("burst_width and burst_spacing must be > 0")
+    rater_ids = list(rater_ids)
+    if len(rater_ids) < n_bursts:
+        raise AttackSpecError(
+            f"need at least one rater per burst ({n_bursts}), got {len(rater_ids)}"
+        )
+    rng = resolve_rng(seed)
+
+    burst_assignment = np.array_split(np.arange(len(rater_ids)), n_bursts)
+    streams = {}
+    for target in targets:
+        fair_mean = fair_dataset[target.product_id].mean_value()
+        spec = ValueSetSpec(bias=target.direction * bias_magnitude, std=std)
+        values = generate_value_set(
+            len(rater_ids), fair_mean, spec, scale=scale, seed=rng
+        )
+        times = np.empty(len(rater_ids))
+        for burst_index, members in enumerate(burst_assignment):
+            start = first_burst + burst_index * burst_spacing
+            times[members] = rng.uniform(start, start + burst_width, members.size)
+        streams[target.product_id] = build_attack_stream(
+            target.product_id, times, values, rater_ids
+        )
+    return AttackSubmission(
+        submission_id=submission_id,
+        streams=streams,
+        strategy="split_burst",
+        params={
+            "bias_magnitude": bias_magnitude,
+            "std": std,
+            "n_bursts": n_bursts,
+            "burst_width": burst_width,
+            "burst_spacing": burst_spacing,
+            "targets": {t.product_id: t.direction for t in targets},
+        },
+    )
+
+
+def sybil_flood(
+    fair_dataset: RatingDataset,
+    targets: Sequence[ProductTarget],
+    n_identities: int = 200,
+    bias_magnitude: float = 2.5,
+    std: float = 0.5,
+    start: float = 10.0,
+    duration: float = 50.0,
+    scale: RatingScale = DEFAULT_SCALE,
+    seed: SeedLike = None,
+    submission_id: str = "sybil_flood",
+    id_prefix: str = "sybil",
+) -> AttackSubmission:
+    """Unlimited fresh identities, one unfair rating each.
+
+    Models free identity creation (outside the challenge rules -- do not
+    pass the result to ``RatingChallenge.evaluate`` with validation on).
+    Each target product receives ``n_identities`` unfair ratings from
+    brand-new rater ids, spread uniformly over ``[start, start+duration]``.
+    """
+    targets = list(targets)
+    if not targets:
+        raise AttackSpecError("at least one target is required")
+    if n_identities < 1:
+        raise AttackSpecError(f"n_identities must be >= 1, got {n_identities}")
+    if duration <= 0:
+        raise AttackSpecError(f"duration must be > 0, got {duration}")
+    rng = resolve_rng(seed)
+    streams = {}
+    counter = 0
+    for target in targets:
+        fair_mean = fair_dataset[target.product_id].mean_value()
+        spec = ValueSetSpec(bias=target.direction * bias_magnitude, std=std)
+        values = generate_value_set(
+            n_identities, fair_mean, spec, scale=scale, seed=rng
+        )
+        times = np.sort(rng.uniform(start, start + duration, n_identities))
+        raters = [f"{id_prefix}_{counter + i:06d}" for i in range(n_identities)]
+        counter += n_identities
+        streams[target.product_id] = build_attack_stream(
+            target.product_id, times, values, raters
+        )
+    return AttackSubmission(
+        submission_id=submission_id,
+        streams=streams,
+        strategy="sybil_flood",
+        params={
+            "n_identities": n_identities,
+            "bias_magnitude": bias_magnitude,
+            "std": std,
+            "targets": {t.product_id: t.direction for t in targets},
+        },
+    )

@@ -1,0 +1,137 @@
+"""Attack submission container.
+
+One :class:`AttackSubmission` is the unit a challenge participant submits:
+for each attacked product, a stream of unfair ratings (when each biased
+rater rates and with what value), plus metadata describing how the
+submission was produced.  All ratings carry ``unfair=True`` ground truth,
+mirroring the rating challenge where injected ratings are known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AttackSpecError
+from repro.types import RatingStream
+
+__all__ = ["ProductTarget", "AttackSubmission", "build_attack_stream"]
+
+
+@dataclass(frozen=True)
+class ProductTarget:
+    """One attacked product and the attack's direction.
+
+    ``direction`` is ``+1`` for boosting (push the score up) and ``-1``
+    for downgrading (push it down).
+    """
+
+    product_id: str
+    direction: int
+
+    def __post_init__(self) -> None:
+        if self.direction not in (-1, 1):
+            raise AttackSpecError(
+                f"direction must be +1 (boost) or -1 (downgrade), got {self.direction}"
+            )
+
+
+def build_attack_stream(
+    product_id: str,
+    times: np.ndarray,
+    values: np.ndarray,
+    rater_ids: Iterable[str],
+) -> RatingStream:
+    """Build an unfair :class:`RatingStream` (all rows ``unfair=True``)."""
+    times = np.asarray(times, dtype=float)
+    return RatingStream(
+        product_id,
+        times,
+        np.asarray(values, dtype=float),
+        list(rater_ids),
+        unfair=np.ones(times.size, dtype=bool),
+    )
+
+
+@dataclass(frozen=True)
+class AttackSubmission:
+    """A complete challenge entry.
+
+    Attributes
+    ----------
+    submission_id:
+        Identifier for leaderboards and analysis plots.
+    streams:
+        ``{product_id: unfair RatingStream}`` -- the injected ratings.
+    strategy:
+        Human-readable strategy name (``"ballot_stuffing"``,
+        ``"generator"`` ...).
+    params:
+        Free-form parameter record (bias, variance, arrival model, ...)
+        used by the analysis modules.
+    """
+
+    submission_id: str
+    streams: Mapping[str, RatingStream]
+    strategy: str = "unknown"
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for product_id, stream in self.streams.items():
+            if stream.product_id != product_id:
+                raise AttackSpecError(
+                    f"stream keyed {product_id!r} is for product "
+                    f"{stream.product_id!r}"
+                )
+            if len(stream) and not bool(stream.unfair.all()):
+                raise AttackSpecError(
+                    f"attack stream for {product_id!r} contains ratings not "
+                    "marked unfair"
+                )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def product_ids(self) -> Tuple[str, ...]:
+        """Attacked product ids (insertion order)."""
+        return tuple(self.streams)
+
+    def total_ratings(self) -> int:
+        """Total number of injected unfair ratings."""
+        return sum(len(s) for s in self.streams.values())
+
+    def rater_ids(self) -> Tuple[str, ...]:
+        """Sorted unique biased rater ids used by the submission."""
+        seen = set()
+        for stream in self.streams.values():
+            seen.update(stream.rater_ids)
+        return tuple(sorted(seen))
+
+    def stream_for(self, product_id: str) -> Optional[RatingStream]:
+        """The unfair stream for ``product_id``, or ``None``."""
+        return self.streams.get(product_id)
+
+    def as_dict(self) -> Dict[str, RatingStream]:
+        """A plain dict copy of the streams mapping (for dataset merging)."""
+        return dict(self.streams)
+
+    def attack_duration(self, product_id: str) -> float:
+        """Time between the first and last unfair rating for a product."""
+        stream = self.streams[product_id]
+        if len(stream) == 0:
+            return 0.0
+        first, last = stream.time_span()
+        return last - first
+
+    def average_rating_interval(self, product_id: str) -> float:
+        """Attack duration divided by the number of unfair ratings.
+
+        The Section V-C time-domain feature (Figure 6's horizontal axis).
+        Zero when the product has no unfair ratings.
+        """
+        stream = self.streams[product_id]
+        if len(stream) == 0:
+            return 0.0
+        return self.attack_duration(product_id) / len(stream)

@@ -1,0 +1,102 @@
+"""Value-to-time mappers, including the paper's Procedure 3.
+
+An attack is a set of values and a set of times; *how values are assigned
+to times* is the correlation dimension of Section V-D.  The paper found no
+correlation in the human submissions, but showed (Figure 7) that the
+following heuristic strengthens attacks:
+
+**Procedure 3 (heuristic correlation).**  Walk the attack times in
+chronological order; for each time, look up the fair rating value given
+just before it ("NearV") and assign the still-unused attack value that
+differs *most* from NearV.  Anti-correlating with the local fair signal
+maximises the instantaneous disruption each unfair rating causes.
+
+Also provided: the identity mapping (values stay in generated order) and
+a random shuffle (the control used in the Figure 7 comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AttackSpecError
+from repro.types import RatingStream
+from repro.utils.rng import SeedLike, resolve_rng
+
+__all__ = ["identity_match", "random_match", "heuristic_correlation_match"]
+
+
+def _check_aligned(times: np.ndarray, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.size != values.size:
+        raise AttackSpecError(
+            f"{times.size} times but {values.size} values to match"
+        )
+    return times, values
+
+
+def identity_match(times: np.ndarray, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Assign values to times in the given order (no correlation intent).
+
+    Times are sorted; values keep their generated order.
+    """
+    times, values = _check_aligned(times, values)
+    order = np.argsort(times, kind="stable")
+    return times[order], values.copy()
+
+
+def random_match(
+    times: np.ndarray, values: np.ndarray, seed: SeedLike = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Assign values to times uniformly at random (the Fig. 7 control)."""
+    times, values = _check_aligned(times, values)
+    rng = resolve_rng(seed)
+    order = np.argsort(times, kind="stable")
+    shuffled = values.copy()
+    rng.shuffle(shuffled)
+    return times[order], shuffled
+
+
+def _nearest_fair_value_before(
+    fair_stream: RatingStream, time: float, default: float
+) -> float:
+    """The fair rating value given most recently before ``time``."""
+    idx = int(np.searchsorted(fair_stream.times, time, side="right")) - 1
+    if idx < 0:
+        return default
+    return float(fair_stream.values[idx])
+
+
+def heuristic_correlation_match(
+    times: np.ndarray,
+    values: np.ndarray,
+    fair_stream: RatingStream,
+    default_near_value: Optional[float] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Procedure 3: anti-correlate attack values with the fair signal.
+
+    For each attack time in ascending order, the fair value submitted just
+    before it is located and the unused attack value with the maximum
+    absolute difference from it is assigned.  ``default_near_value`` is
+    used when no fair rating precedes a time (defaults to the fair
+    stream's mean, or the midpoint 2.5 for an empty stream).
+    """
+    times, values = _check_aligned(times, values)
+    if default_near_value is None:
+        default_near_value = (
+            fair_stream.mean_value() if len(fair_stream) else 2.5
+        )
+    time_order = np.argsort(times, kind="stable")
+    remaining = list(values)
+    matched = np.empty(values.size, dtype=float)
+    for slot, t_idx in enumerate(time_order):
+        near_value = _nearest_fair_value_before(
+            fair_stream, float(times[t_idx]), default_near_value
+        )
+        diffs = [abs(v - near_value) for v in remaining]
+        pick = int(np.argmax(diffs))
+        matched[slot] = remaining.pop(pick)
+    return times[time_order], matched

@@ -1,0 +1,247 @@
+"""A synthetic challenge population -- the stand-in for the 251 humans.
+
+The paper's figures are scatter plots over its 251 valid human
+submissions.  Those submissions are not public, so this module generates a
+population with the *composition the paper reports* (Section V-A):
+
+- more than half the attacks were straightforward (large bias, little
+  exploitation of the defense);
+- a substantial minority exploited the defense in complicated ways
+  (moderate bias with large variance, tuned arrival rates, concentrated
+  into one or two MP months);
+- most submissions were hand-made or hand-tuned (we add parameter jitter
+  so archetypes do not collapse onto grid points).
+
+Every submission respects the challenge rules (50 biased raters, at most
+two boost and two downgrade targets, one rating per rater per product).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.base import AttackSubmission, ProductTarget
+from repro.attacks.generator import AttackGenerator, AttackSpec
+from repro.attacks.time_models import (
+    ConcentratedBurst,
+    EvenlySpaced,
+    PoissonTimes,
+    TimeModel,
+    UniformWindow,
+)
+from repro.errors import ChallengeRuleError, ValidationError
+from repro.utils.rng import SeedLike, resolve_rng
+
+__all__ = ["PopulationConfig", "generate_population"]
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Size and archetype mix of the synthetic population.
+
+    Fractions must sum to 1; they follow the Section V-A observations
+    (over half straightforward, the rest increasingly defense-aware).
+    """
+
+    size: int = 251
+    straightforward_fraction: float = 0.40
+    moderate_fraction: float = 0.25
+    smart_fraction: float = 0.20
+    burst_fraction: float = 0.10
+    experimental_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValidationError(f"size must be >= 1, got {self.size}")
+        total = (
+            self.straightforward_fraction
+            + self.moderate_fraction
+            + self.smart_fraction
+            + self.burst_fraction
+            + self.experimental_fraction
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ValidationError(f"archetype fractions must sum to 1, got {total}")
+
+    def archetype_counts(self) -> List[Tuple[str, int]]:
+        """``(archetype, count)`` pairs; rounding residue goes to the first."""
+        fractions = [
+            ("straightforward", self.straightforward_fraction),
+            ("moderate", self.moderate_fraction),
+            ("smart", self.smart_fraction),
+            ("burst", self.burst_fraction),
+            ("experimental", self.experimental_fraction),
+        ]
+        counts = [(name, int(np.floor(frac * self.size))) for name, frac in fractions]
+        residue = self.size - sum(c for _, c in counts)
+        name0, count0 = counts[0]
+        counts[0] = (name0, count0 + residue)
+        return counts
+
+
+def _pick_targets(
+    product_ids: Sequence[str], rng: np.random.Generator
+) -> List[ProductTarget]:
+    """Two boost and two downgrade targets, distinct products."""
+    chosen = rng.choice(len(product_ids), size=4, replace=False)
+    return [
+        ProductTarget(product_ids[chosen[0]], +1),
+        ProductTarget(product_ids[chosen[1]], +1),
+        ProductTarget(product_ids[chosen[2]], -1),
+        ProductTarget(product_ids[chosen[3]], -1),
+    ]
+
+
+def _time_model_for(
+    archetype: str,
+    start_day: float,
+    duration_days: float,
+    n_ratings: int,
+    rng: np.random.Generator,
+) -> TimeModel:
+    """Sample an arrival model matching the archetype's habits."""
+    span = duration_days
+    if archetype == "straightforward":
+        # Whenever; often the whole challenge window.
+        attack_len = float(rng.uniform(0.5 * span, span))
+        start = float(rng.uniform(start_day, start_day + span - attack_len))
+        return UniformWindow(start, attack_len)
+    if archetype == "moderate":
+        attack_len = float(rng.uniform(15.0, min(60.0, span)))
+        start = float(rng.uniform(start_day, start_day + span - attack_len))
+        return UniformWindow(start, attack_len)
+    if archetype == "smart":
+        # Tuned arrival interval (Section V-C); the interval was already
+        # budgeted against the rating count in ``_spec_for``.
+        max_interval = (span - 2.0) / max(n_ratings - 1, 1)
+        interval = float(rng.uniform(0.5, max(0.6, max_interval)))
+        interval = min(interval, max(max_interval, 0.1))
+        attack_len = interval * (n_ratings - 1)
+        latest_start = max(start_day, start_day + span - attack_len - 1.0)
+        if latest_start > start_day:
+            start = float(rng.uniform(start_day, latest_start))
+        else:
+            start = start_day
+        return EvenlySpaced(start, interval, jitter=float(rng.uniform(0.1, 0.5)))
+    if archetype == "burst":
+        center = float(rng.uniform(start_day + 2.0, start_day + span - 2.0))
+        return ConcentratedBurst(center, width=float(rng.uniform(0.25, 2.0)))
+    # experimental: a Poisson process fast enough to finish inside the window.
+    min_rate = n_ratings / (0.6 * span)
+    rate = float(rng.uniform(min_rate, max(10.0, 2.0 * min_rate)))
+    start = float(rng.uniform(start_day, start_day + 0.1 * span))
+    return PoissonTimes(start, rate)
+
+
+def _spec_for(
+    archetype: str,
+    start_day: float,
+    duration_days: float,
+    max_raters: int,
+    rng: np.random.Generator,
+) -> AttackSpec:
+    """Sample the value/timing parameters of one submission."""
+    if archetype == "straightforward":
+        bias = float(rng.uniform(2.5, 4.0))
+        std = float(rng.uniform(0.0, 0.3))
+        n = int(rng.integers(30, max_raters + 1))
+        correlation = "identity"
+    elif archetype == "moderate":
+        bias = float(rng.uniform(1.0, 2.5))
+        std = float(rng.uniform(0.2, 0.7))
+        n = int(rng.integers(25, max_raters + 1))
+        correlation = "identity"
+    elif archetype == "smart":
+        bias = float(rng.uniform(1.0, 2.8))
+        std = float(rng.uniform(0.7, 1.3))
+        # Smart attackers tune the arrival interval (Section V-C); wide
+        # intervals force fewer ratings so the attack fits the window.
+        interval_budget = float(rng.uniform(0.5, 8.0))
+        max_n = max(10, int((duration_days - 2.0) / interval_budget) + 1)
+        n = min(int(rng.integers(35, max_raters + 1)), max_n)
+        correlation = "identity"
+    elif archetype == "burst":
+        bias = float(rng.uniform(2.0, 4.0))
+        std = float(rng.uniform(0.0, 0.5))
+        n = int(rng.integers(30, max_raters + 1))
+        correlation = "identity"
+    else:  # experimental
+        bias = float(rng.uniform(0.2, 1.5))
+        std = float(rng.uniform(0.0, 1.5))
+        n = int(rng.integers(10, max_raters + 1))
+        correlation = "identity"
+    time_model = _time_model_for(archetype, start_day, duration_days, n, rng)
+    return AttackSpec(
+        bias_magnitude=bias,
+        std=std,
+        n_ratings=n,
+        time_model=time_model,
+        correlation=correlation,
+    )
+
+
+def generate_population(
+    challenge,
+    config: Optional[PopulationConfig] = None,
+    seed: SeedLike = None,
+) -> List[AttackSubmission]:
+    """Generate the synthetic population for ``challenge``.
+
+    ``challenge`` is a :class:`~repro.marketplace.challenge.RatingChallenge`;
+    its fair data, rater budget, and time window parameterize every
+    submission.  Submissions are returned validated.
+    """
+    config = config if config is not None else PopulationConfig()
+    rng = resolve_rng(seed)
+    generator = AttackGenerator(
+        challenge.fair_dataset,
+        challenge.config.biased_rater_ids(),
+        scale=challenge.config.scale,
+        seed=rng,
+    )
+    product_ids = tuple(challenge.fair_dataset.product_ids)
+    start_day = challenge.start_day
+    duration = challenge.end_day - challenge.start_day
+    submissions: List[AttackSubmission] = []
+    index = 0
+    max_attempts = 10
+    for archetype, count in config.archetype_counts():
+        for _ in range(count):
+            submission = None
+            for attempt in range(max_attempts):
+                targets = _pick_targets(product_ids, rng)
+                spec = _spec_for(
+                    archetype,
+                    start_day,
+                    duration,
+                    challenge.config.n_biased_raters,
+                    rng,
+                )
+                candidate = generator.generate(
+                    targets, spec, submission_id=f"sub_{index:03d}"
+                )
+                candidate = AttackSubmission(
+                    submission_id=candidate.submission_id,
+                    streams=candidate.streams,
+                    strategy=archetype,
+                    params=dict(candidate.params, archetype=archetype),
+                )
+                try:
+                    challenge.validate(candidate)
+                except ChallengeRuleError:
+                    # Stochastic timing (e.g. a slow Poisson tail) can leak
+                    # outside the challenge window; resample.
+                    continue
+                submission = candidate
+                break
+            if submission is None:
+                raise ValidationError(
+                    f"could not generate a rule-abiding {archetype!r} "
+                    f"submission in {max_attempts} attempts"
+                )
+            submissions.append(submission)
+            index += 1
+    return submissions

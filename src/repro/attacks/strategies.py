@@ -1,0 +1,192 @@
+"""The simple attack models of prior work (paper Section II).
+
+Earlier evaluations of rating systems used hand-written attacker models:
+only a lying probability, only badmouthing/ballot-stuffing, or unfair
+ratings from a fixed simple distribution.  These are reproduced here both
+as baselines and as the "straightforward" archetypes of the challenge
+population:
+
+- :func:`ballot_stuffing` -- every unfair rating is the scale maximum
+  (boost targets) -- the optimal attack against plain averaging;
+- :func:`bad_mouthing` -- every unfair rating is the scale minimum
+  (downgrade targets);
+- :func:`random_unfair` -- unfair values uniform over the whole scale
+  (the "irresponsible rater" model);
+- :func:`probabilistic_lying` -- each controlled rating lies with
+  probability ``p`` (extreme value in the attack direction), otherwise
+  rates fairly -- the model of Aberer-Despotovic-style analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.base import AttackSubmission, ProductTarget, build_attack_stream
+from repro.attacks.time_models import TimeModel, UniformWindow
+from repro.errors import AttackSpecError
+from repro.types import DEFAULT_SCALE, RatingDataset, RatingScale
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "ballot_stuffing",
+    "bad_mouthing",
+    "random_unfair",
+    "probabilistic_lying",
+]
+
+
+def _build(
+    fair_dataset: RatingDataset,
+    targets: Sequence[ProductTarget],
+    rater_ids: Sequence[str],
+    value_fn,
+    time_model: TimeModel,
+    n_ratings: int,
+    rng: np.random.Generator,
+    submission_id: str,
+    strategy: str,
+    params: dict,
+) -> AttackSubmission:
+    if not targets:
+        raise AttackSpecError("at least one product target is required")
+    if n_ratings > len(rater_ids):
+        raise AttackSpecError(
+            f"{n_ratings} ratings requested but only {len(rater_ids)} raters"
+        )
+    streams = {}
+    for target in targets:
+        if target.product_id not in fair_dataset:
+            raise AttackSpecError(
+                f"product {target.product_id!r} is not in the fair dataset"
+            )
+        times = time_model.sample(n_ratings, rng)
+        values = value_fn(target, n_ratings, rng)
+        raters = list(rater_ids[:n_ratings])
+        rng.shuffle(raters)
+        streams[target.product_id] = build_attack_stream(
+            target.product_id, times, values, raters
+        )
+    return AttackSubmission(
+        submission_id=submission_id,
+        streams=streams,
+        strategy=strategy,
+        params=dict(params, targets={t.product_id: t.direction for t in targets}),
+    )
+
+
+def _default_time_model(time_model: Optional[TimeModel]) -> TimeModel:
+    return time_model if time_model is not None else UniformWindow(0.0, 60.0)
+
+
+def ballot_stuffing(
+    fair_dataset: RatingDataset,
+    targets: Sequence[ProductTarget],
+    rater_ids: Sequence[str],
+    n_ratings: int = 50,
+    time_model: Optional[TimeModel] = None,
+    scale: RatingScale = DEFAULT_SCALE,
+    seed: SeedLike = None,
+    submission_id: str = "ballot_stuffing",
+) -> AttackSubmission:
+    """Maximum-value ratings on boost targets, minimum on downgrades.
+
+    (The classical "ballot stuffing" is the boost half; downgrade targets
+    degrade to bad-mouthing so mixed-objective submissions stay valid.)
+    """
+    rng = resolve_rng(seed)
+
+    def value_fn(target: ProductTarget, n: int, _rng) -> np.ndarray:
+        extreme = scale.maximum if target.direction > 0 else scale.minimum
+        return np.full(n, extreme, dtype=float)
+
+    return _build(
+        fair_dataset, targets, rater_ids, value_fn,
+        _default_time_model(time_model), n_ratings, rng, submission_id,
+        "ballot_stuffing", {"n_ratings": n_ratings},
+    )
+
+
+def bad_mouthing(
+    fair_dataset: RatingDataset,
+    targets: Sequence[ProductTarget],
+    rater_ids: Sequence[str],
+    n_ratings: int = 50,
+    time_model: Optional[TimeModel] = None,
+    scale: RatingScale = DEFAULT_SCALE,
+    seed: SeedLike = None,
+    submission_id: str = "bad_mouthing",
+) -> AttackSubmission:
+    """Minimum-value ratings on every target (pure downgrading)."""
+    rng = resolve_rng(seed)
+
+    def value_fn(_target: ProductTarget, n: int, _rng) -> np.ndarray:
+        return np.full(n, scale.minimum, dtype=float)
+
+    return _build(
+        fair_dataset, targets, rater_ids, value_fn,
+        _default_time_model(time_model), n_ratings, rng, submission_id,
+        "bad_mouthing", {"n_ratings": n_ratings},
+    )
+
+
+def random_unfair(
+    fair_dataset: RatingDataset,
+    targets: Sequence[ProductTarget],
+    rater_ids: Sequence[str],
+    n_ratings: int = 50,
+    time_model: Optional[TimeModel] = None,
+    scale: RatingScale = DEFAULT_SCALE,
+    seed: SeedLike = None,
+    submission_id: str = "random_unfair",
+) -> AttackSubmission:
+    """Unfair values uniform over the rating scale (noise attack)."""
+    rng = resolve_rng(seed)
+
+    def value_fn(_target: ProductTarget, n: int, r: np.random.Generator) -> np.ndarray:
+        return r.uniform(scale.minimum, scale.maximum, n)
+
+    return _build(
+        fair_dataset, targets, rater_ids, value_fn,
+        _default_time_model(time_model), n_ratings, rng, submission_id,
+        "random_unfair", {"n_ratings": n_ratings},
+    )
+
+
+def probabilistic_lying(
+    fair_dataset: RatingDataset,
+    targets: Sequence[ProductTarget],
+    rater_ids: Sequence[str],
+    lie_probability: float = 0.5,
+    n_ratings: int = 50,
+    time_model: Optional[TimeModel] = None,
+    scale: RatingScale = DEFAULT_SCALE,
+    fair_noise_std: float = 0.5,
+    seed: SeedLike = None,
+    submission_id: str = "probabilistic_lying",
+) -> AttackSubmission:
+    """Each controlled rating lies with probability ``p``.
+
+    A lie is the extreme value in the attack direction; an honest rating
+    is drawn around the product's fair mean with ``fair_noise_std``.
+    """
+    lie_probability = check_probability(lie_probability, "lie_probability")
+    rng = resolve_rng(seed)
+
+    def value_fn(target: ProductTarget, n: int, r: np.random.Generator) -> np.ndarray:
+        fair_mean = fair_dataset[target.product_id].mean_value()
+        honest = scale.clip(r.normal(fair_mean, fair_noise_std, n))
+        extreme = scale.maximum if target.direction > 0 else scale.minimum
+        lies = r.uniform(0.0, 1.0, n) < lie_probability
+        values = honest.copy()
+        values[lies] = extreme
+        return values
+
+    return _build(
+        fair_dataset, targets, rater_ids, value_fn,
+        _default_time_model(time_model), n_ratings, rng, submission_id,
+        "probabilistic_lying",
+        {"n_ratings": n_ratings, "lie_probability": lie_probability},
+    )

@@ -1,0 +1,140 @@
+"""Unfair rating time-set generation -- paper Section V-C.
+
+The time-domain features of an attack are its *duration* (first to last
+unfair rating) and the resulting *average rating interval* (duration over
+count).  Figure 6 shows an interior optimum: concentrated attacks trip the
+arrival-rate detectors, over-stretched attacks move the monthly scores too
+little.  Four arrival models cover the behaviours seen in the challenge:
+
+- :class:`UniformWindow` -- i.i.d. uniform times in an attack window (the
+  most common human strategy);
+- :class:`ConcentratedBurst` -- a tight burst around a centre (ballot
+  stuffing in a day or two);
+- :class:`EvenlySpaced` -- metronome spacing (the "spread thin" strategy,
+  minimising the arrival-rate signature);
+- :class:`PoissonTimes` -- a Poisson process at a target rate, the model
+  most prior-work simulators assume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import AttackSpecError
+from repro.utils.rng import SeedLike, resolve_rng
+
+__all__ = [
+    "TimeModel",
+    "UniformWindow",
+    "ConcentratedBurst",
+    "EvenlySpaced",
+    "PoissonTimes",
+]
+
+
+class TimeModel(Protocol):
+    """Anything that can sample ``n`` sorted rating times."""
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Return ``n`` sorted times (days)."""
+        ...
+
+
+def _check_count(n: int) -> None:
+    if n < 1:
+        raise AttackSpecError(f"time set size must be >= 1, got {n}")
+
+
+@dataclass(frozen=True)
+class UniformWindow:
+    """Times uniform in ``[start, start + duration]``."""
+
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise AttackSpecError(f"duration must be > 0, got {self.duration}")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        _check_count(n)
+        return np.sort(rng.uniform(self.start, self.start + self.duration, n))
+
+
+@dataclass(frozen=True)
+class ConcentratedBurst:
+    """Times packed into a narrow burst around ``center``.
+
+    ``width`` is the full width of the burst (days); a width of 0.5 puts
+    all unfair ratings within half a day.
+    """
+
+    center: float
+    width: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise AttackSpecError(f"width must be > 0, got {self.width}")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        _check_count(n)
+        half = self.width / 2.0
+        return np.sort(rng.uniform(self.center - half, self.center + half, n))
+
+
+@dataclass(frozen=True)
+class EvenlySpaced:
+    """Times at a fixed interval, with optional uniform jitter.
+
+    ``jitter`` is the fraction of the interval used as +/- jitter
+    (0 disables; 0.25 keeps the metronome structure but avoids perfectly
+    periodic arrivals that a human would never produce).
+    """
+
+    start: float
+    interval: float
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise AttackSpecError(f"interval must be > 0, got {self.interval}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise AttackSpecError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        _check_count(n)
+        base = self.start + self.interval * np.arange(n, dtype=float)
+        if self.jitter > 0:
+            half = self.jitter * self.interval / 2.0
+            base = base + rng.uniform(-half, half, n)
+        return np.sort(base)
+
+
+@dataclass(frozen=True)
+class PoissonTimes:
+    """A Poisson arrival process at ``rate`` per day starting at ``start``.
+
+    Exactly ``n`` events are drawn (the first ``n`` arrivals of the
+    process), so the *expected* duration is ``n / rate``.
+    """
+
+    start: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise AttackSpecError(f"rate must be > 0, got {self.rate}")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        _check_count(n)
+        gaps = rng.exponential(1.0 / self.rate, n)
+        times = self.start + np.cumsum(gaps)
+        return times  # cumulative sums of positive gaps are already sorted
+
+
+def sample_times(model: TimeModel, n: int, seed: SeedLike = None) -> np.ndarray:
+    """Convenience wrapper: sample ``n`` times from ``model``."""
+    return model.sample(n, resolve_rng(seed))

@@ -1,0 +1,89 @@
+"""Unfair rating value-set generation -- paper Section V-B.
+
+The paper identifies **bias** (mean of unfair ratings minus mean of fair
+ratings) and **variance** of the unfair values as the two features that
+determine attack strength.  The value-set generator therefore samples a
+set of values whose sample mean and sample standard deviation hit a target
+(bias, sigma) as exactly as the rating scale allows:
+
+1. draw Gaussian values,
+2. affinely re-standardize the sample so its mean and std are *exactly*
+   the targets (removing sampling error, so the variance-bias plane is
+   swept precisely),
+3. clip onto the rating scale (clipping can shrink extreme parameter
+   combinations -- e.g. bias -4 forces values to the scale minimum, where
+   no variance is achievable; this is a property of the real system too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import AttackSpecError
+from repro.types import DEFAULT_SCALE, RatingScale
+from repro.utils.rng import SeedLike, resolve_rng
+
+__all__ = ["ValueSetSpec", "generate_value_set"]
+
+
+@dataclass(frozen=True)
+class ValueSetSpec:
+    """Target (bias, sigma) of an unfair value set.
+
+    Attributes
+    ----------
+    bias:
+        Target mean shift relative to the fair mean.  Negative bias
+        downgrades, positive bias boosts.
+    std:
+        Target standard deviation of the unfair values.
+    """
+
+    bias: float
+    std: float
+
+    def __post_init__(self) -> None:
+        if self.std < 0:
+            raise AttackSpecError(f"std must be >= 0, got {self.std}")
+
+    def target_mean(self, fair_mean: float) -> float:
+        """The unfair-value mean implied by the fair mean."""
+        return fair_mean + self.bias
+
+
+def generate_value_set(
+    n: int,
+    fair_mean: float,
+    spec: ValueSetSpec,
+    scale: Optional[RatingScale] = None,
+    seed: SeedLike = None,
+    value_step: Optional[float] = None,
+) -> np.ndarray:
+    """Sample ``n`` unfair rating values targeting ``spec``.
+
+    ``value_step`` optionally quantizes the values (e.g. 0.5 for half-star
+    sites); quantisation and clipping both perturb the achieved moments,
+    which mirrors reality -- an attacker cannot place a mean of -1 on a
+    0..5 scale either.
+    """
+    if n < 1:
+        raise AttackSpecError(f"value set size must be >= 1, got {n}")
+    scale = scale if scale is not None else DEFAULT_SCALE
+    rng = resolve_rng(seed)
+    target_mean = spec.target_mean(fair_mean)
+    raw = rng.normal(0.0, 1.0, n)
+    if n > 1 and spec.std > 0:
+        sample_std = float(raw.std())
+        if sample_std > 1e-12:
+            raw = (raw - raw.mean()) / sample_std
+        values = target_mean + spec.std * raw
+    else:
+        values = np.full(n, target_mean, dtype=float)
+    if value_step is not None:
+        if value_step <= 0:
+            raise AttackSpecError(f"value_step must be > 0, got {value_step}")
+        values = np.round(values / value_step) * value_step
+    return scale.clip(values)

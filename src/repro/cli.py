@@ -1,0 +1,352 @@
+"""Command-line interface to the reproduction.
+
+Subcommands mirror the workflow of the paper's systems::
+
+    repro-rating world      --seed 7 --out fair.csv
+    repro-rating attack     --world fair.csv --target tv1:-1 --target tv3:+1 \
+                            --bias 2.5 --std 0.4 --out attack.json
+    repro-rating evaluate   --world fair.csv --submission attack.json --scheme P
+    repro-rating detect     --world fair.csv --product tv1
+    repro-rating population --seed 7 --size 25 --scheme SA
+    repro-rating search     --seed 7 --scheme P --probes 4
+
+``world`` writes fair rating data as CSV; ``attack`` builds one unfair
+rating submission (JSON); ``evaluate`` scores a submission's Manipulation
+Power under a defense; ``detect`` prints the joint detector's verdict for
+one product; ``population`` simulates a challenge round with synthetic
+participants; ``search`` runs the Procedure 2 region search.
+
+Every command accepts ``--seed`` for reproducibility.  Exit status is 0 on
+success, 2 on argument errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.aggregation import BetaFilterScheme, PScheme, SimpleAveragingScheme
+from repro.analysis.reporting import format_table
+from repro.attacks.base import ProductTarget
+from repro.attacks.generator import AttackGenerator, AttackSpec
+from repro.attacks.optimizer import SearchArea, heuristic_region_search
+from repro.attacks.population import PopulationConfig, generate_population
+from repro.attacks.time_models import UniformWindow
+from repro.detectors import JointDetector
+from repro.errors import ReproError
+from repro.marketplace.challenge import RatingChallenge
+from repro.marketplace.fair_ratings import FairRatingConfig, FairRatingGenerator
+from repro.marketplace.io import (
+    load_dataset_csv,
+    load_submission_json,
+    save_dataset_csv,
+    save_submission_json,
+)
+
+__all__ = ["main", "build_parser"]
+
+_SCHEMES = {
+    "SA": SimpleAveragingScheme,
+    "BF": BetaFilterScheme,
+    "P": PScheme,
+}
+
+
+def _make_scheme(name: str):
+    return _SCHEMES[name]()
+
+
+def _parse_target(text: str) -> ProductTarget:
+    try:
+        product_id, direction_s = text.rsplit(":", 1)
+        direction = int(direction_s)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"target must look like 'tv1:-1' or 'tv3:+1', got {text!r}"
+        ) from None
+    if direction not in (-1, 1):
+        raise argparse.ArgumentTypeError(
+            f"target direction must be -1 or +1, got {direction}"
+        )
+    return ProductTarget(product_id, direction)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-rating",
+        description="Rating-system attack modeling (ICDCS 2008 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    world = sub.add_parser("world", help="generate fair rating data (CSV)")
+    world.add_argument("--seed", type=int, default=0)
+    world.add_argument("--out", required=True, help="output CSV path")
+    world.add_argument("--duration-days", type=float, default=82.0)
+    world.add_argument("--history-days", type=float, default=45.0)
+    world.add_argument("--arrivals-per-day", type=float, default=6.0)
+
+    attack = sub.add_parser("attack", help="generate an attack submission (JSON)")
+    attack.add_argument("--world", required=True, help="fair data CSV")
+    attack.add_argument(
+        "--target", dest="targets", action="append", type=_parse_target,
+        required=True, help="product:direction, e.g. tv1:-1 (repeatable)",
+    )
+    attack.add_argument("--bias", type=float, default=2.0)
+    attack.add_argument("--std", type=float, default=0.5)
+    attack.add_argument("--n-ratings", type=int, default=50)
+    attack.add_argument("--window-start", type=float, default=20.0)
+    attack.add_argument("--window-days", type=float, default=40.0)
+    attack.add_argument(
+        "--correlation", choices=("identity", "random", "heuristic"),
+        default="identity",
+    )
+    attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument("--out", required=True, help="output JSON path")
+
+    evaluate = sub.add_parser("evaluate", help="score a submission's MP")
+    evaluate.add_argument("--world", required=True, help="fair data CSV")
+    evaluate.add_argument("--submission", required=True, help="submission JSON")
+    evaluate.add_argument(
+        "--scheme", choices=sorted(_SCHEMES), action="append", dest="schemes",
+        help="defense scheme (repeatable; default: all three)",
+    )
+    evaluate.add_argument("--period-days", type=float, default=30.0)
+
+    detect = sub.add_parser("detect", help="run the joint detector on a product")
+    detect.add_argument("--world", required=True, help="rating data CSV")
+    detect.add_argument("--product", required=True)
+
+    population = sub.add_parser(
+        "population", help="simulate a challenge round with synthetic participants"
+    )
+    population.add_argument("--seed", type=int, default=2008)
+    population.add_argument("--size", type=int, default=25)
+    population.add_argument(
+        "--scheme", choices=sorted(_SCHEMES), default="SA",
+    )
+    population.add_argument("--top", type=int, default=10)
+
+    search = sub.add_parser("search", help="Procedure 2 region search")
+    search.add_argument("--seed", type=int, default=2008)
+    search.add_argument("--scheme", choices=sorted(_SCHEMES), default="SA")
+    search.add_argument("--probes", type=int, default=4)
+    search.add_argument("--subareas", type=int, default=4)
+
+    ablation = sub.add_parser(
+        "ablation", help="P-scheme design ablation on the canonical attacks"
+    )
+    ablation.add_argument("--seed", type=int, default=2008)
+
+    sensitivity = sub.add_parser(
+        "sensitivity", help="ROC-style sweep of one detector threshold"
+    )
+    sensitivity.add_argument("--parameter", required=True,
+                             help="a DetectorConfig field name")
+    sensitivity.add_argument(
+        "--value", dest="values", action="append", type=float, required=True,
+        help="threshold value to probe (repeatable)",
+    )
+    sensitivity.add_argument("--seed", type=int, default=0)
+    sensitivity.add_argument("--fair-worlds", type=int, default=1)
+    sensitivity.add_argument("--attacks", type=int, default=2)
+
+    return parser
+
+
+# --------------------------------------------------------------------- #
+# Command implementations
+# --------------------------------------------------------------------- #
+
+
+def _cmd_world(args) -> int:
+    config = FairRatingConfig(
+        duration_days=args.duration_days,
+        history_days=args.history_days,
+        base_arrivals_per_day=args.arrivals_per_day,
+    )
+    dataset = FairRatingGenerator(config=config, seed=args.seed).generate()
+    save_dataset_csv(dataset, args.out)
+    print(
+        f"wrote {dataset.total_ratings()} fair ratings over "
+        f"{len(dataset)} products to {args.out}"
+    )
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    dataset = load_dataset_csv(args.world)
+    rater_ids = [f"attacker_{i:02d}" for i in range(max(args.n_ratings, 1))]
+    generator = AttackGenerator(dataset, rater_ids, seed=args.seed)
+    spec = AttackSpec(
+        bias_magnitude=args.bias,
+        std=args.std,
+        n_ratings=args.n_ratings,
+        time_model=UniformWindow(args.window_start, args.window_days),
+        correlation=args.correlation,
+    )
+    submission = generator.generate(args.targets, spec, submission_id="cli_attack")
+    save_submission_json(submission, args.out)
+    print(
+        f"wrote {submission.total_ratings()} unfair ratings "
+        f"({len(submission.product_ids)} products) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    fair = load_dataset_csv(args.world).fair_only()
+    submission = load_submission_json(args.submission)
+    attacked = fair.merge(submission.as_dict())
+    spans = [s.time_span() for s in fair.streams() if len(s)]
+    start = min(lo for lo, _ in spans)
+    end = max(hi for _, hi in spans) + 1e-9
+    from repro.marketplace.mp import manipulation_power
+
+    scheme_names = args.schemes or sorted(_SCHEMES)
+    rows = []
+    for name in scheme_names:
+        result = manipulation_power(
+            _make_scheme(name), attacked, fair,
+            period_days=args.period_days, start_day=start, end_day=end,
+        )
+        rows.append((name, result.total))
+    print(format_table(["scheme", "total MP"], rows, title="Manipulation Power"))
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    dataset = load_dataset_csv(args.world)
+    if args.product not in dataset:
+        print(f"error: product {args.product!r} not in {args.world}", file=sys.stderr)
+        return 2
+    stream = dataset[args.product]
+    report = JointDetector().analyze(stream)
+    print(f"product {args.product}: {len(stream)} ratings")
+    print(f"suspicious ratings: {report.num_suspicious}")
+    print(f"alarms: {dict(report.alarms)}")
+    for label, intervals in (
+        ("Path 1", report.path1_intervals),
+        ("Path 2", report.path2_intervals),
+    ):
+        for interval in intervals:
+            print(f"{label} interval: days {interval.start:.1f} to {interval.stop:.1f}")
+    if len(stream) and stream.unfair.any():
+        unfair = stream.unfair
+        recall = (report.suspicious & unfair).sum() / unfair.sum()
+        print(f"ground-truth recall: {recall:.0%}")
+    return 0
+
+
+def _cmd_population(args) -> int:
+    challenge = RatingChallenge(seed=args.seed)
+    population = generate_population(
+        challenge, PopulationConfig(size=args.size), seed=args.seed + 1
+    )
+    scheme = _make_scheme(args.scheme)
+    board = challenge.leaderboard(population, scheme, validate=False)
+    rows = [
+        (entry.rank, entry.submission_id, entry.strategy, entry.total_mp)
+        for entry in board[: args.top]
+    ]
+    print(
+        format_table(
+            ["rank", "submission", "archetype", "total MP"],
+            rows,
+            title=f"{args.scheme}-scheme leaderboard (top {args.top} of {args.size})",
+        )
+    )
+    return 0
+
+
+def _cmd_search(args) -> int:
+    challenge = RatingChallenge(seed=args.seed)
+    by_volume = sorted(
+        challenge.fair_dataset.product_ids,
+        key=lambda pid: len(challenge.fair_dataset[pid]),
+    )
+    targets = [
+        ProductTarget(by_volume[0], -1),
+        ProductTarget(by_volume[1], -1),
+        ProductTarget(by_volume[2], +1),
+        ProductTarget(by_volume[3], +1),
+    ]
+    generator = AttackGenerator(
+        challenge.fair_dataset, challenge.config.biased_rater_ids(),
+        seed=args.seed + 5,
+    )
+    evaluate = generator.evaluator(targets, challenge, _make_scheme(args.scheme))
+    result = heuristic_region_search(
+        evaluate,
+        SearchArea(bias_min=-4.0, bias_max=0.0, std_min=0.0, std_max=2.0),
+        n_subareas=args.subareas,
+        probes_per_subarea=args.probes,
+    )
+    rows = []
+    for i, round_ in enumerate(result.rounds):
+        bias, std = round_.best_subarea.center
+        rows.append((i + 1, bias, std, round_.best_score))
+    print(
+        format_table(
+            ["round", "best bias", "best std", "best MP"],
+            rows,
+            title=f"Procedure 2 vs {args.scheme}-scheme",
+        )
+    )
+    bias, std = result.best_point
+    print(f"strongest region: bias={bias:.2f}, std={std:.2f} (MP {result.best_mp:.3f})")
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    from repro.experiments import ExperimentContext
+    from repro.experiments.ablations import run_pscheme_ablation
+
+    context = ExperimentContext(seed=args.seed, population_size=1)
+    print(run_pscheme_ablation(context).to_text())
+    return 0
+
+
+def _cmd_sensitivity(args) -> int:
+    from repro.experiments.sensitivity import sweep_detector_parameter
+
+    result = sweep_detector_parameter(
+        args.parameter,
+        args.values,
+        n_fair_worlds=args.fair_worlds,
+        n_attacks=args.attacks,
+        seed=args.seed,
+    )
+    print(result.to_text())
+    return 0
+
+
+_COMMANDS = {
+    "world": _cmd_world,
+    "attack": _cmd_attack,
+    "evaluate": _cmd_evaluate,
+    "detect": _cmd_detect,
+    "population": _cmd_population,
+    "search": _cmd_search,
+    "ablation": _cmd_ablation,
+    "sensitivity": _cmd_sensitivity,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

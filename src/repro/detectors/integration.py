@@ -1,0 +1,214 @@
+"""Joint detection of suspicious ratings -- paper Section IV-F, Figure 1.
+
+Single detectors false-alarm on natural variation (fair ratings drift in
+mean and arrival rate), so the paper combines them along two parallel
+paths:
+
+**Path 1 (strong attacks).**  The MC curve shows a suspicious interval
+(the U-shape bracketed by two peaks, or a trust-moderated suspicious
+segment) *and* the H-ARC or L-ARC curve independently shows one too.
+Where the two intervals overlap, the correspondingly high (``> a``)
+or low (``< b``) ratings are marked suspicious.
+
+**Path 2 (alarm-confirmed intervals).**  When an H-ARC (L-ARC) alarm is
+raised -- the side-specific arrival rate is anomalous -- the ME (HC)
+detector is consulted: ratings that are high (low) inside an
+ME-suspicious (HC-suspicious) interval are marked.
+
+Both paths always run; their marks are unioned (a product can be attacked
+more than once, Section IV-F).
+
+Implementation note: the paper issues the Path 2 alarm only when the ARC
+curve "does not have such a U-shape"; we raise it whenever the curve
+exceeds the alarm threshold, because the ME/HC confirmation step already
+suppresses false positives and this keeps Path 2 effective when Path 1
+misses (e.g. an MC curve flattened by a high-variance attack).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.detectors.arrival_rate import ArrivalRateDetector, ArrivalRateReport
+from repro.detectors.base import DetectionReport, DetectorConfig, TimeInterval
+from repro.detectors.histogram import HistogramChangeDetector
+from repro.detectors.mean_change import MeanChangeDetector, MeanChangeReport
+from repro.detectors.model_error import ModelErrorDetector
+from repro.types import RatingStream
+
+__all__ = ["JointDetector"]
+
+TrustLookup = Callable[[str], float]
+
+
+class JointDetector:
+    """The complete suspicious-rating detection stage of the P-scheme."""
+
+    def __init__(self, config: Optional[DetectorConfig] = None) -> None:
+        self.config = config if config is not None else DetectorConfig()
+        self.mean_change = MeanChangeDetector(self.config)
+        self.h_arc = ArrivalRateDetector("H-ARC", self.config)
+        self.l_arc = ArrivalRateDetector("L-ARC", self.config)
+        self.histogram = HistogramChangeDetector(self.config)
+        self.model_error = ModelErrorDetector(self.config)
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _report_intervals(report) -> List[TimeInterval]:
+        """All suspicious intervals a sub-detector produced.
+
+        For MC and ARC reports this unions the U-shape interval (when
+        present) with the segment-based suspicious intervals.
+        """
+        intervals: List[TimeInterval] = list(report.suspicious_intervals)
+        u_shape = getattr(report, "u_shape", None)
+        if u_shape is not None:
+            intervals.append(TimeInterval.from_u_shape(u_shape))
+        return intervals
+
+    @staticmethod
+    def _mark(
+        mask: np.ndarray,
+        stream: RatingStream,
+        interval: TimeInterval,
+        value_mask: np.ndarray,
+    ) -> None:
+        """Mark ratings inside ``interval`` that satisfy ``value_mask``."""
+        mask |= interval.mask(stream.times) & value_mask
+
+    def _path1(
+        self,
+        stream: RatingStream,
+        mc_report: MeanChangeReport,
+        harc_report: ArrivalRateReport,
+        larc_report: ArrivalRateReport,
+        high_mask: np.ndarray,
+        low_mask: np.ndarray,
+        mask: np.ndarray,
+    ) -> List[TimeInterval]:
+        """Path 1: MC interval overlapping an H/L-ARC interval.
+
+        The MC detector *confirms* that the rating level moved; the ARC
+        interval *delimits* the attack (arrival anomalies bracket exactly
+        the injected ratings, while the strongest MC peak pair may span
+        only a slice of a long attack).  So on overlap, the whole ARC
+        interval is marked.
+        """
+        fired: List[TimeInterval] = []
+        mc_intervals = self._report_intervals(mc_report)
+        for arc_report, value_mask in (
+            (harc_report, high_mask),
+            (larc_report, low_mask),
+        ):
+            for arc_interval in self._report_intervals(arc_report):
+                confirmed = any(
+                    mc_interval.intersect(arc_interval) is not None
+                    for mc_interval in mc_intervals
+                )
+                if not confirmed:
+                    continue
+                self._mark(mask, stream, arc_interval, value_mask)
+                fired.append(arc_interval)
+        return fired
+
+    def _path2(
+        self,
+        stream: RatingStream,
+        harc_report: ArrivalRateReport,
+        larc_report: ArrivalRateReport,
+        me_intervals: List[TimeInterval],
+        hc_intervals: List[TimeInterval],
+        high_mask: np.ndarray,
+        low_mask: np.ndarray,
+        mask: np.ndarray,
+    ) -> List[TimeInterval]:
+        """Path 2: ARC alarm confirmed by the ME or HC detector."""
+        fired: List[TimeInterval] = []
+        if harc_report.alarm:
+            for interval in me_intervals:
+                self._mark(mask, stream, interval, high_mask)
+                fired.append(interval)
+        if larc_report.alarm:
+            for interval in hc_intervals:
+                self._mark(mask, stream, interval, low_mask)
+                fired.append(interval)
+        return fired
+
+    # ------------------------------------------------------------------ #
+
+    def analyze(
+        self,
+        stream: RatingStream,
+        trust_lookup: Optional[TrustLookup] = None,
+    ) -> DetectionReport:
+        """Run both detection paths over one product stream.
+
+        ``trust_lookup`` (rater id -> current trust) feeds the
+        trust-moderated MC segment rule; omit it on the first pass, before
+        any trust has been established.
+        """
+        n = len(stream)
+        if n < self.config.min_ratings:
+            return DetectionReport(
+                product_id=stream.product_id,
+                suspicious=np.zeros(n, dtype=bool),
+            )
+        mean_value = float(stream.values.mean())
+        threshold_a = self.config.high_value_threshold(mean_value)
+        threshold_b = self.config.low_value_threshold(mean_value)
+        high_mask = stream.values > threshold_a
+        low_mask = stream.values < threshold_b
+
+        mc_report = self.mean_change.analyze(stream, trust_lookup)
+        harc_report = self.h_arc.analyze(stream)
+        larc_report = self.l_arc.analyze(stream)
+        hc_report = self.histogram.analyze(stream)
+        me_report = self.model_error.analyze(stream)
+
+        mask = np.zeros(n, dtype=bool)
+        path1: List[TimeInterval] = []
+        path2: List[TimeInterval] = []
+        if self.config.enable_path1:
+            path1 = self._path1(
+                stream, mc_report, harc_report, larc_report, high_mask, low_mask, mask
+            )
+        if self.config.enable_path2:
+            path2 = self._path2(
+                stream,
+                harc_report,
+                larc_report,
+                list(me_report.suspicious_intervals),
+                list(hc_report.suspicious_intervals),
+                high_mask,
+                low_mask,
+                mask,
+            )
+        curves = {
+            "MC": mc_report.curve,
+            "H-ARC": harc_report.curve,
+            "L-ARC": larc_report.curve,
+            "HC": hc_report.curve,
+            "ME": me_report.curve,
+        }
+        return DetectionReport(
+            product_id=stream.product_id,
+            suspicious=mask,
+            path1_intervals=tuple(path1),
+            path2_intervals=tuple(path2),
+            curves=curves,
+            alarms={"H-ARC": harc_report.alarm, "L-ARC": larc_report.alarm},
+        )
+
+    def analyze_dataset(
+        self,
+        dataset,
+        trust_lookup: Optional[TrustLookup] = None,
+    ) -> Dict[str, DetectionReport]:
+        """Run :meth:`analyze` over every product in a dataset."""
+        return {
+            product_id: self.analyze(dataset[product_id], trust_lookup)
+            for product_id in dataset
+        }

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError` from misuse of
+third-party code.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "EmptyDataError",
+    "ChallengeRuleError",
+    "DetectorError",
+    "AggregationError",
+    "AttackSpecError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, wrong shape, ...)."""
+
+
+class EmptyDataError(ValidationError):
+    """An operation that needs data received an empty dataset or stream."""
+
+
+class ChallengeRuleError(ReproError):
+    """A submission violates the Rating Challenge rules.
+
+    Examples: using more than the allotted number of biased raters, rating
+    products outside the challenge's product set, or rating outside the
+    challenge time span.
+    """
+
+
+class DetectorError(ReproError):
+    """An unfair-rating detector could not run on the supplied stream."""
+
+
+class AggregationError(ReproError):
+    """A rating aggregation scheme could not produce a score."""
+
+
+class AttackSpecError(ValidationError):
+    """An attack specification is inconsistent or out of range."""

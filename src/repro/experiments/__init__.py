@@ -1,0 +1,49 @@
+"""Experiment runners -- one per table/figure of the paper's evaluation.
+
+Each runner returns a structured result object; the benchmark harness
+(``benchmarks/``) times the runners and prints the series the paper
+reports.  The shared :class:`~repro.experiments.context.ExperimentContext`
+builds the challenge world and the synthetic population once and caches
+MP evaluations per scheme, since Figures 2-4, 6 and 7 all reuse them.
+
+Index (see DESIGN.md section 4):
+
+- E1-E3 / Figures 2-4: :func:`run_bias_variance_figure`
+- E4 / Figure 5: :func:`run_region_search_figure`
+- E5 / Figure 6: :func:`run_time_analysis_figure`
+- E6 / Figure 7: :func:`run_correlation_figure`
+- E7 / headline MP ratio: :func:`run_headline_comparison`
+- E8 / detector operating points: :func:`run_operating_points`
+"""
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.figures import (
+    BiasVarianceFigure,
+    CorrelationFigure,
+    HeadlineComparison,
+    OperatingPoints,
+    RegionSearchFigure,
+    TimeAnalysisFigure,
+    run_bias_variance_figure,
+    run_correlation_figure,
+    run_headline_comparison,
+    run_operating_points,
+    run_region_search_figure,
+    run_time_analysis_figure,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "BiasVarianceFigure",
+    "CorrelationFigure",
+    "HeadlineComparison",
+    "OperatingPoints",
+    "RegionSearchFigure",
+    "TimeAnalysisFigure",
+    "run_bias_variance_figure",
+    "run_correlation_figure",
+    "run_headline_comparison",
+    "run_operating_points",
+    "run_region_search_figure",
+    "run_time_analysis_figure",
+]

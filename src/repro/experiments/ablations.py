@@ -1,0 +1,156 @@
+"""Ablation study of the P-scheme's design choices.
+
+DESIGN.md calls out four load-bearing decisions in the proposed system;
+each variant below removes exactly one and re-measures the MP a canonical
+attack set achieves:
+
+- ``full``           -- the complete P-scheme;
+- ``no-path1``       -- Figure 1 without the strong-attack path
+                        (MC + ARC interval confirmation);
+- ``no-path2``       -- Figure 1 without the alarm-confirmation path
+                        (ARC alarm gated by ME/HC);
+- ``single-scale``   -- only the paper's 30-day ARC window (no long
+                        window), which blinds the scheme to slow drips;
+- ``filter-only``    -- detection without the trust layer: marked ratings
+                        are dropped, survivors averaged unweighted.
+
+The canonical attack set covers the behaviours the full scheme is designed
+for: a windowed strong downgrade, a one-day burst, a whole-window drip,
+and the camouflage strike (which specifically targets the trust layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from repro.aggregation.pscheme import PScheme, PSchemeConfig
+from repro.analysis.reporting import format_table
+from repro.attacks.advanced import camouflage_attack
+from repro.attacks.base import AttackSubmission, ProductTarget
+from repro.attacks.generator import AttackGenerator, AttackSpec
+from repro.attacks.time_models import ConcentratedBurst, UniformWindow
+from repro.detectors.base import DetectorConfig
+from repro.experiments.context import ExperimentContext
+
+__all__ = ["AblationResult", "run_pscheme_ablation", "ABLATION_VARIANTS"]
+
+
+def _variant_configs() -> Dict[str, PSchemeConfig]:
+    base_detector = DetectorConfig()
+    return {
+        "full": PSchemeConfig(),
+        "no-path1": PSchemeConfig(detector=replace(base_detector, enable_path1=False)),
+        "no-path2": PSchemeConfig(detector=replace(base_detector, enable_path2=False)),
+        "single-scale": PSchemeConfig(
+            detector=replace(base_detector, arc_long_window_days=0)
+        ),
+        "filter-only": PSchemeConfig(use_trust_weights=False),
+    }
+
+
+ABLATION_VARIANTS: Tuple[str, ...] = tuple(_variant_configs())
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """MP of each canonical attack under each P-scheme variant."""
+
+    attack_names: Tuple[str, ...]
+    variant_names: Tuple[str, ...]
+    mp: Dict[str, Dict[str, float]]  # variant -> attack -> MP
+    sa_mp: Dict[str, float]  # attack -> MP under plain averaging (reference)
+
+    def to_text(self) -> str:
+        headers = ["attack", "SA (ref)"] + list(self.variant_names)
+        rows = []
+        for attack in self.attack_names:
+            rows.append(
+                [attack, self.sa_mp[attack]]
+                + [self.mp[variant][attack] for variant in self.variant_names]
+            )
+        return format_table(
+            headers, rows, title="P-scheme ablation (total MP; lower = better defense)"
+        )
+
+
+def _canonical_attacks(context: ExperimentContext) -> List[Tuple[str, AttackSubmission]]:
+    challenge = context.challenge
+    generator = AttackGenerator(
+        challenge.fair_dataset,
+        challenge.config.biased_rater_ids(),
+        scale=challenge.config.scale,
+        seed=context.seed + 23,
+    )
+    pids = challenge.fair_dataset.product_ids
+    targets = [
+        ProductTarget(pids[0], -1),
+        ProductTarget(pids[1], -1),
+        ProductTarget(pids[2], +1),
+        ProductTarget(pids[3], +1),
+    ]
+    span = challenge.end_day - challenge.start_day
+    mid = challenge.start_day + span / 2.0
+    attacks: List[Tuple[str, AttackSubmission]] = [
+        (
+            "windowed downgrade",
+            generator.generate(
+                targets, AttackSpec(3.0, 0.2, 50, UniformWindow(mid - 15.0, 25.0))
+            ),
+        ),
+        (
+            "one-day burst",
+            generator.generate(
+                targets, AttackSpec(3.0, 0.3, 50, ConcentratedBurst(mid, 1.0))
+            ),
+        ),
+        (
+            "whole-window drip",
+            generator.generate(
+                targets,
+                AttackSpec(
+                    3.5, 0.2, 50,
+                    UniformWindow(challenge.start_day + 1.0, span - 2.0),
+                ),
+            ),
+        ),
+        (
+            "camouflage strike",
+            camouflage_attack(
+                challenge.fair_dataset,
+                targets,
+                challenge.config.biased_rater_ids(),
+                bias_magnitude=3.0,
+                camouflage_end=challenge.start_day + 0.35 * span,
+                strike_start=challenge.start_day + 0.55 * span,
+                strike_duration=0.25 * span,
+                seed=context.seed + 29,
+            ),
+        ),
+    ]
+    return attacks
+
+
+def run_pscheme_ablation(context: ExperimentContext) -> AblationResult:
+    """Evaluate the canonical attack set under every P-scheme variant."""
+    challenge = context.challenge
+    attacks = _canonical_attacks(context)
+    variants = _variant_configs()
+    mp: Dict[str, Dict[str, float]] = {}
+    for variant_name, config in variants.items():
+        scheme = PScheme(config)
+        mp[variant_name] = {
+            attack_name: challenge.evaluate(submission, scheme, validate=False).total
+            for attack_name, submission in attacks
+        }
+    sa = context.scheme("SA")
+    sa_mp = {
+        attack_name: challenge.evaluate(submission, sa, validate=False).total
+        for attack_name, submission in attacks
+    }
+    return AblationResult(
+        attack_names=tuple(name for name, _ in attacks),
+        variant_names=tuple(variants),
+        mp=mp,
+        sa_mp=sa_mp,
+    )

@@ -1,0 +1,102 @@
+"""Shared world + population + cached evaluations for the experiments.
+
+All of the paper's evaluation figures are computed over the same objects:
+one fair-rating world, one population of challenge submissions, and the
+three defense schemes.  Building them is the expensive part (the P-scheme
+runs five detectors per product per submission), so the context constructs
+everything lazily and memoizes MP results per scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.aggregation import BetaFilterScheme, PScheme, SimpleAveragingScheme
+from repro.attacks.base import AttackSubmission
+from repro.attacks.population import PopulationConfig, generate_population
+from repro.errors import ValidationError
+from repro.marketplace.challenge import RatingChallenge
+from repro.marketplace.mp import MPResult
+
+__all__ = ["ExperimentContext"]
+
+SCHEME_NAMES = ("P", "SA", "BF")
+
+
+@dataclass
+class ExperimentContext:
+    """Lazily built world, population, schemes, and MP evaluations.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the fair world (population uses ``seed + 1``).
+    population_size:
+        Number of synthetic challenge submissions (251 reproduces the
+        paper; tests use smaller populations).
+    """
+
+    seed: int = 2008
+    population_size: int = 251
+
+    def __post_init__(self) -> None:
+        if self.population_size < 1:
+            raise ValidationError(
+                f"population_size must be >= 1, got {self.population_size}"
+            )
+        self._challenge: Optional[RatingChallenge] = None
+        self._population: Optional[List[AttackSubmission]] = None
+        self._schemes: Dict[str, object] = {}
+        self._results: Dict[str, Dict[str, MPResult]] = {}
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def challenge(self) -> RatingChallenge:
+        """The challenge world (built on first use)."""
+        if self._challenge is None:
+            self._challenge = RatingChallenge(seed=self.seed)
+        return self._challenge
+
+    @property
+    def population(self) -> List[AttackSubmission]:
+        """The synthetic submission population (built on first use)."""
+        if self._population is None:
+            config = PopulationConfig(size=self.population_size)
+            self._population = generate_population(
+                self.challenge, config, seed=self.seed + 1
+            )
+        return self._population
+
+    def scheme(self, name: str):
+        """A shared scheme instance by name (``"P"``, ``"SA"``, ``"BF"``)."""
+        if name not in SCHEME_NAMES:
+            raise ValidationError(f"unknown scheme {name!r}; expected {SCHEME_NAMES}")
+        if name not in self._schemes:
+            self._schemes[name] = {
+                "P": PScheme,
+                "SA": SimpleAveragingScheme,
+                "BF": BetaFilterScheme,
+            }[name]()
+        return self._schemes[name]
+
+    # ------------------------------------------------------------------ #
+
+    def results_for(self, scheme_name: str) -> Dict[str, MPResult]:
+        """MP results of the whole population under one scheme (cached)."""
+        if scheme_name not in self._results:
+            scheme = self.scheme(scheme_name)
+            challenge = self.challenge
+            self._results[scheme_name] = {
+                submission.submission_id: challenge.evaluate(
+                    submission, scheme, validate=False
+                )
+                for submission in self.population
+            }
+        return self._results[scheme_name]
+
+    def max_total_mp(self, scheme_name: str) -> float:
+        """The population's best total MP under one scheme."""
+        results = self.results_for(scheme_name)
+        return max(result.total for result in results.values())

@@ -1,0 +1,138 @@
+"""Forgetting-factor trade-off study (extension).
+
+The paper's Procedure 1 never forgets: a rater's suspicious marks depress
+their trust for the rest of time.  Beta-reputation systems usually add
+exponential evidence fading, trading two risks against each other:
+
+- **without fading** (factor 1.0), honest raters caught as collateral in
+  one imprecise detection interval are punished forever;
+- **with fading**, a caught attacker can *redeem* themselves and strike
+  again -- the camouflage/oscillation family of attacks gets stronger.
+
+This experiment sweeps the factor and measures both sides:
+
+1. MP of a **two-strike attack** (strike, lie low, strike again with the
+   same raters) -- fading should *help the attacker* here;
+2. the **final trust of honest raters falsely marked** in month 1 who
+   keep rating honestly afterwards -- fading should *help them recover*
+   toward (and past) the neutral 0.5 that Eq. 7 needs for any weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.aggregation.pscheme import PScheme, PSchemeConfig
+from repro.analysis.reporting import format_table
+from repro.attacks.base import AttackSubmission, ProductTarget
+from repro.attacks.generator import AttackGenerator, AttackSpec
+from repro.attacks.time_models import UniformWindow
+from repro.experiments.context import ExperimentContext
+
+__all__ = ["ForgettingStudy", "run_forgetting_study"]
+
+
+@dataclass(frozen=True)
+class ForgettingStudy:
+    """Measured trade-off per forgetting factor."""
+
+    factors: Tuple[float, ...]
+    two_strike_mp: Tuple[float, ...]
+    marked_rater_final_trust: Tuple[float, ...]
+
+    def to_text(self) -> str:
+        rows = list(
+            zip(self.factors, self.two_strike_mp, self.marked_rater_final_trust)
+        )
+        return format_table(
+            ["factor", "two-strike MP", "falsely-marked rater trust"],
+            rows,
+            title=(
+                "Forgetting-factor trade-off (MP: lower = safer; "
+                "final trust: higher = honest collateral recovers)"
+            ),
+        )
+
+
+def _two_strike_attack(context: ExperimentContext) -> AttackSubmission:
+    """The same rater cohort strikes twice, months apart.
+
+    Each rater rates each product once (challenge rule), so the two
+    strikes hit *different* products: strike 1 on two products early,
+    strike 2 on two other products late.  Without fading, the trust lost
+    in strike 1 pre-neutralizes strike 2; with fading, trust recovers in
+    the quiet months between.
+    """
+    challenge = context.challenge
+    generator = AttackGenerator(
+        challenge.fair_dataset,
+        challenge.config.biased_rater_ids(),
+        scale=challenge.config.scale,
+        seed=context.seed + 37,
+    )
+    pids = challenge.fair_dataset.product_ids
+    span = challenge.end_day - challenge.start_day
+    first = generator.generate(
+        [ProductTarget(pids[0], -1), ProductTarget(pids[1], -1)],
+        AttackSpec(
+            3.0, 0.2, 50,
+            UniformWindow(challenge.start_day + 2.0, 0.15 * span),
+        ),
+    )
+    second = generator.generate(
+        [ProductTarget(pids[2], -1), ProductTarget(pids[3], -1)],
+        AttackSpec(
+            3.0, 0.2, 50,
+            UniformWindow(challenge.start_day + 0.75 * span, 0.2 * span),
+        ),
+    )
+    streams = dict(first.streams)
+    streams.update(second.streams)
+    return AttackSubmission(
+        "two_strike", streams, strategy="two_strike",
+        params={"strikes": 2},
+    )
+
+
+def _marked_rater_final_trust(
+    factor: float, bad_month_marks: int = 3, honest_months: int = 5
+) -> float:
+    """Final trust of an honest rater falsely marked in their first month.
+
+    The victim submits ``bad_month_marks`` ratings in month 1 that all get
+    marked (collateral of one imprecise detection interval), then one
+    clean rating per month for ``honest_months`` months.  Without fading
+    the early marks cancel the later good evidence indefinitely (with 3
+    marks and 3 clean months the trust pins at exactly the weightless
+    0.5); with fading the victim's voice returns.
+    """
+    from repro.trust.manager import TrustManager
+
+    manager = TrustManager(0.5, factor)
+    manager.record_epoch({"victim": (bad_month_marks, bad_month_marks)})
+    for _ in range(honest_months):
+        manager.record_epoch({"victim": (1, 0)})
+    return manager.trust_of("victim")
+
+
+def run_forgetting_study(
+    context: ExperimentContext,
+    factors: Tuple[float, ...] = (1.0, 0.9, 0.7, 0.5),
+) -> ForgettingStudy:
+    """Sweep the forgetting factor over both sides of the trade-off."""
+    challenge = context.challenge
+    attack = _two_strike_attack(context)
+    mp_values: List[float] = []
+    recovery: List[float] = []
+    for factor in factors:
+        scheme = PScheme(PSchemeConfig(forgetting_factor=factor))
+        mp_values.append(
+            challenge.evaluate(attack, scheme, validate=False).total
+        )
+        recovery.append(_marked_rater_final_trust(factor))
+    return ForgettingStudy(
+        factors=tuple(factors),
+        two_strike_mp=tuple(mp_values),
+        marked_rater_final_trust=tuple(recovery),
+    )

@@ -1,0 +1,167 @@
+"""Sensitivity analysis of detector thresholds (ROC-style sweeps).
+
+The paper leaves several detection thresholds unspecified; DESIGN.md §6
+documents how this reproduction calibrated them.  This module provides the
+tooling that calibration used, packaged for reuse: sweep any
+:class:`~repro.detectors.base.DetectorConfig` field and measure, at each
+value,
+
+- the **false-alarm rate** on fair-only worlds (fraction of fair ratings
+  marked suspicious), and
+- the **recall** and **fair collateral** on a canonical windowed
+  downgrade attack,
+
+giving the ROC-style trade-off curve a deployer needs when adapting the
+P-scheme to a rating site with different fair-traffic statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.attacks.base import ProductTarget
+from repro.attacks.generator import AttackGenerator, AttackSpec
+from repro.attacks.time_models import UniformWindow
+from repro.detectors.base import DetectorConfig
+from repro.detectors.integration import JointDetector
+from repro.errors import ValidationError
+from repro.marketplace.challenge import RatingChallenge
+from repro.marketplace.fair_ratings import FairRatingGenerator
+
+__all__ = ["OperatingPoint", "SensitivityResult", "sweep_detector_parameter"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Detector quality at one parameter value."""
+
+    value: float
+    false_alarm_rate: float
+    recall: float
+    collateral: float
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Full sweep of one DetectorConfig parameter."""
+
+    parameter: str
+    points: Tuple[OperatingPoint, ...]
+
+    def to_text(self) -> str:
+        rows = [
+            (p.value, p.false_alarm_rate, p.recall, p.collateral)
+            for p in self.points
+        ]
+        return format_table(
+            [self.parameter, "false alarms", "recall", "collateral"],
+            rows,
+            float_format=".4f",
+            title=f"Detector sensitivity to {self.parameter}",
+        )
+
+    def false_alarm_curve(self) -> np.ndarray:
+        """False-alarm rates in sweep order."""
+        return np.asarray([p.false_alarm_rate for p in self.points])
+
+    def recall_curve(self) -> np.ndarray:
+        """Recall values in sweep order."""
+        return np.asarray([p.recall for p in self.points])
+
+
+def _measure(
+    config: DetectorConfig,
+    fair_datasets,
+    attacked_cases,
+) -> Tuple[float, float, float]:
+    detector = JointDetector(config)
+    marked = total = 0
+    for dataset in fair_datasets:
+        for product_id in dataset:
+            report = detector.analyze(dataset[product_id])
+            marked += report.num_suspicious
+            total += len(dataset[product_id])
+    false_alarm = marked / max(total, 1)
+    recalls: List[float] = []
+    collaterals: List[float] = []
+    for stream in attacked_cases:
+        report = detector.analyze(stream)
+        unfair = stream.unfair
+        recalls.append(
+            float((report.suspicious & unfair).sum()) / max(int(unfair.sum()), 1)
+        )
+        collaterals.append(
+            float((report.suspicious & ~unfair).sum())
+            / max(int((~unfair).sum()), 1)
+        )
+    return false_alarm, float(np.mean(recalls)), float(np.mean(collaterals))
+
+
+def sweep_detector_parameter(
+    parameter: str,
+    values: Sequence[float],
+    n_fair_worlds: int = 2,
+    n_attacks: int = 3,
+    attack_bias: float = 2.2,
+    attack_std: float = 0.4,
+    attack_ratings: int = 40,
+    attack_duration: float = 30.0,
+    seed: int = 0,
+) -> SensitivityResult:
+    """Sweep ``parameter`` over ``values`` and measure the trade-off.
+
+    ``parameter`` must be a field of :class:`DetectorConfig`.  Fair worlds
+    and attacks are regenerated deterministically from ``seed`` so sweeps
+    are comparable across parameters.  The default attack is deliberately
+    *marginal* (medium bias, ~1.3 unfair ratings/day): a blatant attack is
+    caught at any sane threshold and flattens the curve, while the
+    marginal attack exposes where detection actually starts to fail.
+    """
+    if not values:
+        raise ValidationError("values must be non-empty")
+    base = DetectorConfig()
+    if not hasattr(base, parameter):
+        raise ValidationError(
+            f"{parameter!r} is not a DetectorConfig field"
+        )
+    fair_datasets = [
+        FairRatingGenerator(seed=seed + i).generate() for i in range(n_fair_worlds)
+    ]
+    challenge = RatingChallenge(seed=seed + 100)
+    generator = AttackGenerator(
+        challenge.fair_dataset, challenge.config.biased_rater_ids(), seed=seed + 200
+    )
+    span = challenge.end_day - challenge.start_day
+    attacked_cases = []
+    product_ids = challenge.fair_dataset.product_ids
+    for i in range(n_attacks):
+        pid = product_ids[i % len(product_ids)]
+        start = challenge.start_day + (0.2 + 0.15 * i) * span
+        submission = generator.generate(
+            [ProductTarget(pid, -1)],
+            AttackSpec(
+                attack_bias, attack_std, attack_ratings,
+                UniformWindow(start, attack_duration),
+            ),
+        )
+        attacked = challenge.fair_dataset.merge(submission.as_dict())
+        attacked_cases.append(attacked[pid])
+    points = []
+    for value in values:
+        config = replace(base, **{parameter: value})
+        false_alarm, recall, collateral = _measure(
+            config, fair_datasets, attacked_cases
+        )
+        points.append(
+            OperatingPoint(
+                value=float(value),
+                false_alarm_rate=false_alarm,
+                recall=recall,
+                collateral=collateral,
+            )
+        )
+    return SensitivityResult(parameter=parameter, points=tuple(points))

@@ -1,0 +1,191 @@
+"""Serialization for rating datasets and attack submissions.
+
+Two interchange formats:
+
+- **CSV** for rating data -- one row per rating
+  (``product_id,rater_id,time,value,unfair``), the shape in which rating
+  traces are usually published;
+- **JSON** for attack submissions -- the structured equivalent of the file
+  the paper's challenge participants uploaded (who rates what, when, with
+  which value), plus the strategy metadata the analysis modules use.
+
+Both round-trip exactly (modulo float text formatting, which uses
+``repr``-precision decimals).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.attacks.base import AttackSubmission, build_attack_stream
+from repro.errors import ValidationError
+from repro.types import RatingDataset, RatingStream
+
+__all__ = [
+    "dataset_to_csv",
+    "dataset_from_csv",
+    "save_dataset_csv",
+    "load_dataset_csv",
+    "submission_to_json",
+    "submission_from_json",
+    "save_submission_json",
+    "load_submission_json",
+]
+
+_CSV_HEADER = ["product_id", "rater_id", "time", "value", "unfair"]
+
+
+# --------------------------------------------------------------------- #
+# Rating datasets <-> CSV
+# --------------------------------------------------------------------- #
+
+
+def dataset_to_csv(dataset: RatingDataset) -> str:
+    """Render a dataset as CSV text (header + one row per rating)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(_CSV_HEADER)
+    for product_id in dataset:
+        stream = dataset[product_id]
+        for i in range(len(stream)):
+            writer.writerow(
+                [
+                    product_id,
+                    stream.rater_ids[i],
+                    repr(float(stream.times[i])),
+                    repr(float(stream.values[i])),
+                    int(stream.unfair[i]),
+                ]
+            )
+    return buffer.getvalue()
+
+
+def dataset_from_csv(text: str) -> RatingDataset:
+    """Parse CSV text produced by :func:`dataset_to_csv` (or compatible)."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValidationError("empty CSV: expected a header row") from None
+    if [h.strip() for h in header] != _CSV_HEADER:
+        raise ValidationError(
+            f"unexpected CSV header {header!r}; expected {_CSV_HEADER}"
+        )
+    rows: Dict[str, List] = {}
+    for line_no, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != 5:
+            raise ValidationError(
+                f"CSV line {line_no}: expected 5 fields, got {len(row)}"
+            )
+        product_id, rater_id, time_s, value_s, unfair_s = row
+        try:
+            time = float(time_s)
+            value = float(value_s)
+            unfair = bool(int(unfair_s))
+        except ValueError as exc:
+            raise ValidationError(f"CSV line {line_no}: {exc}") from None
+        entry = rows.setdefault(product_id, [[], [], [], []])
+        entry[0].append(time)
+        entry[1].append(value)
+        entry[2].append(rater_id)
+        entry[3].append(unfair)
+    streams = [
+        RatingStream(product_id, times, values, raters, unfair)
+        for product_id, (times, values, raters, unfair) in rows.items()
+    ]
+    return RatingDataset(streams)
+
+
+def save_dataset_csv(dataset: RatingDataset, path: Union[str, Path]) -> None:
+    """Write a dataset to a CSV file."""
+    Path(path).write_text(dataset_to_csv(dataset))
+
+
+def load_dataset_csv(path: Union[str, Path]) -> RatingDataset:
+    """Read a dataset from a CSV file."""
+    return dataset_from_csv(Path(path).read_text())
+
+
+# --------------------------------------------------------------------- #
+# Attack submissions <-> JSON
+# --------------------------------------------------------------------- #
+
+
+def submission_to_json(submission: AttackSubmission) -> str:
+    """Render a submission as pretty-printed JSON."""
+    payload = {
+        "submission_id": submission.submission_id,
+        "strategy": submission.strategy,
+        "params": _jsonable(submission.params),
+        "products": {
+            product_id: {
+                "ratings": [
+                    {
+                        "rater_id": stream.rater_ids[i],
+                        "time": float(stream.times[i]),
+                        "value": float(stream.values[i]),
+                    }
+                    for i in range(len(stream))
+                ]
+            }
+            for product_id, stream in submission.streams.items()
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _jsonable(value):
+    """Best-effort conversion of params metadata to JSON-safe values."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def submission_from_json(text: str) -> AttackSubmission:
+    """Parse JSON text produced by :func:`submission_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"invalid submission JSON: {exc}") from None
+    for key in ("submission_id", "products"):
+        if key not in payload:
+            raise ValidationError(f"submission JSON missing {key!r}")
+    streams = {}
+    for product_id, block in payload["products"].items():
+        ratings = block.get("ratings", [])
+        times = [r["time"] for r in ratings]
+        values = [r["value"] for r in ratings]
+        raters = [r["rater_id"] for r in ratings]
+        streams[product_id] = build_attack_stream(product_id, times, values, raters)
+    return AttackSubmission(
+        submission_id=payload["submission_id"],
+        streams=streams,
+        strategy=payload.get("strategy", "unknown"),
+        params=payload.get("params", {}),
+    )
+
+
+def save_submission_json(
+    submission: AttackSubmission, path: Union[str, Path]
+) -> None:
+    """Write a submission to a JSON file."""
+    Path(path).write_text(submission_to_json(submission))
+
+
+def load_submission_json(path: Union[str, Path]) -> AttackSubmission:
+    """Read a submission from a JSON file."""
+    return submission_from_json(Path(path).read_text())

@@ -1,0 +1,82 @@
+"""Product catalogue.
+
+A :class:`Product` carries the latent parameters that drive its *fair*
+ratings: the true quality (the mean an honest, unbiased rater converges
+to), the dispersion of honest opinions about it, and its popularity (how
+many ratings per day it attracts relative to the catalogue average).
+
+:func:`default_tv_lineup` reconstructs the paper's setting: nine flat-panel
+TVs "with similar features" -- similar but not identical qualities around
+4 on the 0..5 scale, and mildly different popularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ValidationError
+from repro.types import DEFAULT_SCALE, RatingScale
+
+__all__ = ["Product", "default_tv_lineup"]
+
+
+@dataclass(frozen=True)
+class Product:
+    """A rateable object and its latent fair-rating parameters.
+
+    Attributes
+    ----------
+    product_id:
+        Stable identifier, e.g. ``"tv1"``.
+    name:
+        Human-readable name.
+    true_quality:
+        The latent mean fair-rating value, on the rating scale.
+    opinion_std:
+        Standard deviation of honest opinions around ``true_quality``.
+    popularity:
+        Relative arrival-rate multiplier (1.0 = catalogue average).
+    """
+
+    product_id: str
+    name: str
+    true_quality: float
+    opinion_std: float = 0.6
+    popularity: float = 1.0
+    scale: RatingScale = DEFAULT_SCALE
+
+    def __post_init__(self) -> None:
+        if not self.scale.contains(self.true_quality):
+            raise ValidationError(
+                f"true_quality {self.true_quality} outside rating scale "
+                f"[{self.scale.minimum}, {self.scale.maximum}]"
+            )
+        if self.opinion_std <= 0:
+            raise ValidationError(f"opinion_std must be > 0, got {self.opinion_std}")
+        if self.popularity <= 0:
+            raise ValidationError(f"popularity must be > 0, got {self.popularity}")
+
+
+def default_tv_lineup() -> List[Product]:
+    """The nine-TV catalogue mirroring the paper's challenge dataset.
+
+    Qualities cluster around 4.0 (the paper reports the mean of fair
+    ratings is "around 4"), with enough spread that products are
+    distinguishable and popularity differences change arrival rates.
+    """
+    specs = [
+        ("tv1", "42'' LCD A", 4.10, 0.55, 1.30),
+        ("tv2", "42'' LCD B", 3.95, 0.60, 1.10),
+        ("tv3", "46'' LCD A", 4.25, 0.50, 1.00),
+        ("tv4", "46'' LCD B", 3.80, 0.65, 0.90),
+        ("tv5", "50'' plasma A", 4.00, 0.60, 1.20),
+        ("tv6", "50'' plasma B", 3.70, 0.70, 0.80),
+        ("tv7", "37'' LCD A", 4.15, 0.55, 1.05),
+        ("tv8", "37'' LCD B", 3.90, 0.60, 0.85),
+        ("tv9", "52'' LCD A", 4.05, 0.58, 0.80),
+    ]
+    return [
+        Product(product_id=pid, name=name, true_quality=q, opinion_std=std, popularity=pop)
+        for pid, name, q, std, pop in specs
+    ]

@@ -1,0 +1,18 @@
+"""Online (streaming) operation of the reliable rating system.
+
+The library's core is batch-oriented, matching how the paper evaluates:
+a dataset in, monthly scores out.  A deployed rating system instead sees
+ratings one at a time and must publish scores continuously.  This package
+wraps any aggregation scheme behind that operational interface:
+
+- :class:`~repro.online.system.OnlineRatingSystem` ingests individual
+  ratings, closes scoring epochs on demand (or automatically as time
+  advances), and publishes per-product scores computed by the configured
+  scheme over everything seen so far -- so at each epoch boundary the
+  published score equals what the batch pipeline would produce, which is
+  exactly the property the tests pin down.
+"""
+
+from repro.online.system import EpochReport, OnlineRatingSystem
+
+__all__ = ["EpochReport", "OnlineRatingSystem"]

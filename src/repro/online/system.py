@@ -1,0 +1,178 @@
+"""Streaming facade over the batch aggregation pipeline.
+
+Design: the system buffers incoming :class:`~repro.types.Rating` records
+per product.  When an epoch closes (every ``period_days`` of rating time,
+or explicitly via :meth:`OnlineRatingSystem.close_epoch`), the buffered
+data is compiled into immutable streams and the configured scheme's
+``monthly_scores`` is evaluated over the *full* history -- detection is a
+whole-stream operation (windows straddle epoch boundaries), so published
+scores must be recomputed from history, not incrementally patched.  The
+P-scheme's internal fingerprint caches keep the recomputation cost
+proportional to what actually changed.
+
+Late ratings (timestamps before an already-published epoch) are accepted
+into the history but flagged in the epoch report: a production system
+must decide whether to restate published scores; this one recomputes, so
+subsequent epoch reports reflect the corrected history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.types import Rating, RatingDataset, RatingStream
+
+__all__ = ["EpochReport", "OnlineRatingSystem"]
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """Everything published when one scoring epoch closes."""
+
+    epoch_index: int
+    epoch_start: float
+    epoch_end: float
+    scores: Mapping[str, float]
+    ratings_ingested: int
+    late_ratings: int
+
+    def score_of(self, product_id: str) -> float:
+        """Published score for ``product_id`` (NaN when unscored)."""
+        return self.scores.get(product_id, float("nan"))
+
+
+class OnlineRatingSystem:
+    """Ingest ratings one at a time; publish scores per epoch.
+
+    Parameters
+    ----------
+    scheme:
+        Any aggregation scheme (``monthly_scores`` protocol).
+    start_day:
+        Time origin of the first scoring epoch.
+    period_days:
+        Epoch length (the paper's MP metric uses 30-day periods).
+    history:
+        Optional pre-existing rating data (e.g. the pre-challenge
+        history) the detectors should see from the start.
+    """
+
+    def __init__(
+        self,
+        scheme,
+        start_day: float = 0.0,
+        period_days: float = 30.0,
+        history: Optional[RatingDataset] = None,
+    ) -> None:
+        if period_days <= 0:
+            raise ValidationError(f"period_days must be > 0, got {period_days}")
+        self.scheme = scheme
+        self.start_day = float(start_day)
+        self.period_days = float(period_days)
+        self._buffers: Dict[str, List[Rating]] = {}
+        self._history_floor = self.start_day
+        if history is not None:
+            for stream in history.streams():
+                self._buffers.setdefault(stream.product_id, []).extend(stream)
+                if len(stream):
+                    self._history_floor = min(
+                        self._history_floor, float(stream.times[0])
+                    )
+        self._epochs_closed = 0
+        self._ingested_this_epoch = 0
+        self._late_this_epoch = 0
+        self._reports: List[EpochReport] = []
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+
+    @property
+    def current_epoch_start(self) -> float:
+        """Start time of the epoch currently accumulating."""
+        return self.start_day + self._epochs_closed * self.period_days
+
+    @property
+    def current_epoch_end(self) -> float:
+        """End time (exclusive) of the epoch currently accumulating."""
+        return self.current_epoch_start + self.period_days
+
+    def submit(self, rating: Rating) -> List[EpochReport]:
+        """Ingest one rating; auto-close any epochs its timestamp passes.
+
+        Returns the (possibly empty) list of epoch reports published as a
+        consequence -- a rating far in the future closes several epochs.
+        """
+        published: List[EpochReport] = []
+        while rating.time >= self.current_epoch_end:
+            published.append(self.close_epoch())
+        if rating.time < self.current_epoch_start:
+            self._late_this_epoch += 1
+        self._buffers.setdefault(rating.product_id, []).append(rating)
+        self._ingested_this_epoch += 1
+        return published
+
+    def submit_many(self, ratings) -> List[EpochReport]:
+        """Ingest an iterable of ratings (time-ordered or not)."""
+        published: List[EpochReport] = []
+        for rating in ratings:
+            published.extend(self.submit(rating))
+        return published
+
+    # ------------------------------------------------------------------ #
+    # Publishing
+    # ------------------------------------------------------------------ #
+
+    def dataset(self) -> RatingDataset:
+        """Immutable snapshot of everything ingested so far."""
+        streams = [
+            RatingStream.from_ratings(product_id, ratings)
+            for product_id, ratings in self._buffers.items()
+        ]
+        return RatingDataset(streams)
+
+    def close_epoch(self) -> EpochReport:
+        """Close the current epoch and publish its scores."""
+        epoch_start = self.current_epoch_start
+        epoch_end = self.current_epoch_end
+        snapshot = self.dataset()
+        if len(snapshot) and snapshot.total_ratings():
+            scores_series = self.scheme.monthly_scores(
+                snapshot,
+                period_days=self.period_days,
+                start_day=self.start_day,
+                end_day=epoch_end,
+            )
+            index = self._epochs_closed
+            scores = {
+                product_id: float(series[index]) if index < series.size else float("nan")
+                for product_id, series in scores_series.items()
+            }
+        else:
+            scores = {}
+        report = EpochReport(
+            epoch_index=self._epochs_closed,
+            epoch_start=epoch_start,
+            epoch_end=epoch_end,
+            scores=scores,
+            ratings_ingested=self._ingested_this_epoch,
+            late_ratings=self._late_this_epoch,
+        )
+        self._reports.append(report)
+        self._epochs_closed += 1
+        self._ingested_this_epoch = 0
+        self._late_this_epoch = 0
+        return report
+
+    @property
+    def reports(self) -> Tuple[EpochReport, ...]:
+        """All epoch reports published so far."""
+        return tuple(self._reports)
+
+    def latest_scores(self) -> Mapping[str, float]:
+        """The most recently published per-product scores ({} if none)."""
+        if not self._reports:
+            return {}
+        return dict(self._reports[-1].scores)

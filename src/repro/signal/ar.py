@@ -1,0 +1,120 @@
+"""Autoregressive modeling by the covariance method.
+
+Paper, Section IV-E: within a window, the ratings are fit onto an AR signal
+model and the *model error* is examined.  A high model error means the
+window looks like white noise (honest, independent ratings); a low model
+error means a predictable "signal" is present, which is the signature of
+collaborative unfair ratings.
+
+The covariance method (Hayes, *Statistical Digital Signal Processing and
+Modeling*) finds AR coefficients ``a_1 .. a_p`` minimizing the forward
+prediction error
+
+    E = sum_{n=p}^{N-1} | x[n] + sum_{k=1}^{p} a_k x[n-k] |^2
+
+by solving the covariance normal equations.  Unlike the autocorrelation
+method it does not window the data, so it is exact for short records --
+which matters here because detector windows hold only ~40 ratings.
+
+We report the *normalized* model error ``E / ((N - p) * var(x))`` so the
+statistic is scale-free: 1.0 for white noise in expectation, near 0.0 for
+a strongly predictable signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EmptyDataError, ValidationError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ARFit", "fit_ar_covariance", "model_error"]
+
+
+@dataclass(frozen=True)
+class ARFit:
+    """Result of fitting an AR(p) model with the covariance method.
+
+    Attributes
+    ----------
+    order:
+        Model order ``p``.
+    coefficients:
+        Array ``[a_1, ..., a_p]`` in the convention
+        ``x[n] ~= -(a_1 x[n-1] + ... + a_p x[n-p])``.
+    error_power:
+        Total squared prediction error ``E`` over the fit range.
+    normalized_error:
+        ``E / ((N - p) * var(x))`` -- scale-free model error in ``[0, ~1+]``.
+        Defined as 1.0 when the window has zero variance (a constant window
+        is perfectly "predictable" only trivially; treating it as noise-free
+        signal would make unanimous fair ratings look like attacks).
+    """
+
+    order: int
+    coefficients: np.ndarray
+    error_power: float
+    normalized_error: float
+
+
+def _covariance_normal_equations(x: np.ndarray, order: int):
+    """Build the covariance-method normal equations ``C a = -c``.
+
+    ``C[i, j] = sum_n x[n-1-i] x[n-1-j]`` and ``c[i] = sum_n x[n] x[n-1-i]``
+    for ``n = order .. N-1``.
+    """
+    n = x.size
+    rows = n - order
+    # Design matrix: row t holds [x[order-1+t], x[order-2+t], ..., x[t]].
+    design = np.empty((rows, order), dtype=float)
+    for lag in range(1, order + 1):
+        design[:, lag - 1] = x[order - lag : n - lag]
+    target = x[order:]
+    gram = design.T @ design
+    cross = design.T @ target
+    return gram, cross, design, target
+
+
+def fit_ar_covariance(x: np.ndarray, order: int) -> ARFit:
+    """Fit an AR(``order``) model to ``x`` via the covariance method.
+
+    Requires ``len(x) >= 2 * order`` so the normal equations are at least
+    square-determined; raises :class:`~repro.errors.ValidationError`
+    otherwise.  Singular windows (e.g. all-constant data) are handled with
+    a pseudo-inverse solve.
+    """
+    x = np.asarray(x, dtype=float)
+    order = check_positive_int(order, "order")
+    if x.size == 0:
+        raise EmptyDataError("cannot fit an AR model to an empty window")
+    if x.size < 2 * order:
+        raise ValidationError(
+            f"AR({order}) covariance fit needs at least {2 * order} samples, got {x.size}"
+        )
+    gram, cross, design, target = _covariance_normal_equations(x, order)
+    try:
+        solution = np.linalg.solve(gram, cross)
+    except np.linalg.LinAlgError:
+        solution = np.linalg.pinv(gram) @ cross
+    coefficients = -solution  # convention: x[n] + sum a_k x[n-k] = residual
+    residual = target - design @ solution
+    error_power = float(residual @ residual)
+    variance = float(x.var())
+    if variance <= 1e-12:
+        normalized = 1.0
+    else:
+        normalized = error_power / ((x.size - order) * variance)
+    coefficients.setflags(write=False)
+    return ARFit(
+        order=order,
+        coefficients=coefficients,
+        error_power=error_power,
+        normalized_error=float(normalized),
+    )
+
+
+def model_error(x: np.ndarray, order: int = 4) -> float:
+    """Convenience wrapper returning only the normalized model error."""
+    return fit_ar_covariance(x, order).normalized_error

@@ -1,0 +1,281 @@
+"""Sliding-window indicator-curve construction.
+
+Each detector in the paper produces a curve of a test statistic versus
+time, built by sliding a window over the rating stream:
+
+- **MC curve** (Section IV-B.2): Gaussian mean-change statistic.  The paper
+  states windows are constructed "either by making them contain the same
+  number of ratings or have the same time duration"; the challenge deploy
+  used 30-*day* MC windows, so both variants are provided.
+- **ARC curve** (Section IV-C.2): Poisson rate-change statistic over the
+  daily-count series, centre ``k' = k + D``, shrinking windows at edges.
+- **HC curve** (Section IV-D): two-cluster balance ``min(n1/n2, n2/n1)``
+  over rating-count windows.
+- **ME curve** (Section IV-E): normalized AR model error over rating-count
+  windows.
+
+All constructors return a :class:`Curve`: aligned arrays of evaluation
+times, evaluation indices (index into the underlying series), and
+statistic values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.signal.ar import fit_ar_covariance
+from repro.signal.clustering import two_cluster_split_1d
+from repro.signal.glrt import gaussian_mean_change_statistic
+from repro.signal.poisson import poisson_rate_change_statistic
+from repro.utils.validation import check_positive, check_positive_int
+from repro.utils.windows import centered_windows
+
+__all__ = [
+    "Curve",
+    "mean_change_curve_by_count",
+    "mean_change_curve_by_time",
+    "arrival_rate_curve",
+    "histogram_change_curve",
+    "model_error_curve",
+]
+
+
+@dataclass(frozen=True)
+class Curve:
+    """An indicator curve: a statistic evaluated along a rating stream.
+
+    Attributes
+    ----------
+    kind:
+        Which detector produced the curve (``"MC"``, ``"ARC"``, ``"H-ARC"``,
+        ``"L-ARC"``, ``"HC"``, ``"ME"``).
+    times:
+        Evaluation times (days), one per point.
+    indices:
+        For rating-indexed curves: the rating index at the window centre.
+        For day-indexed curves (ARC): the day index.  Aligned with ``times``.
+    values:
+        The statistic values.
+    """
+
+    kind: str
+    times: np.ndarray
+    indices: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (self.times.size == self.indices.size == self.values.size):
+            raise ValidationError("curve arrays must be aligned")
+        for arr in (self.times, self.indices, self.values):
+            arr.setflags(write=False)
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the curve has no evaluation points."""
+        return self.values.size == 0
+
+    def max_value(self) -> float:
+        """Largest statistic on the curve (``0.0`` for an empty curve)."""
+        return float(self.values.max()) if self.values.size else 0.0
+
+    def above(self, threshold: float) -> np.ndarray:
+        """Boolean mask of points with ``value > threshold``."""
+        return self.values > threshold
+
+    def below(self, threshold: float) -> np.ndarray:
+        """Boolean mask of points with ``value < threshold``."""
+        return self.values < threshold
+
+
+def _empty_curve(kind: str) -> Curve:
+    return Curve(
+        kind=kind,
+        times=np.array([], dtype=float),
+        indices=np.array([], dtype=int),
+        values=np.array([], dtype=float),
+    )
+
+
+def mean_change_curve_by_count(
+    times: np.ndarray, values: np.ndarray, half_width: int
+) -> Curve:
+    """MC curve with rating-count windows of half-width ``half_width``.
+
+    ``MC(k)`` tests a mean change between ratings ``[k-W, k)`` and
+    ``[k, k+W)`` (shrinking symmetrically near the edges), evaluated for
+    every centre ``k`` in ``1 .. n-1``.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    half_width = check_positive_int(half_width, "half_width")
+    if values.size < 2:
+        return _empty_curve("MC")
+    centers, stats = [], []
+    for center, start, stop in centered_windows(values.size, half_width):
+        stats.append(
+            gaussian_mean_change_statistic(values[start:center], values[center:stop])
+        )
+        centers.append(center)
+    centers_arr = np.asarray(centers, dtype=int)
+    return Curve(
+        kind="MC",
+        times=times[centers_arr],
+        indices=centers_arr,
+        values=np.asarray(stats, dtype=float),
+    )
+
+
+def mean_change_curve_by_time(
+    times: np.ndarray, values: np.ndarray, window_days: float
+) -> Curve:
+    """MC curve with fixed-duration windows of ``window_days`` days.
+
+    At each rating index ``k`` the two halves are the ratings in
+    ``[t(k) - window_days/2, t(k))`` and ``[t(k), t(k) + window_days/2)``.
+    Centres where either half is empty get statistic ``0`` (no evidence of
+    change is obtainable there).
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    window_days = check_positive(window_days, "window_days")
+    n = values.size
+    if n < 2:
+        return _empty_curve("MC")
+    half = window_days / 2.0
+    stats = np.zeros(n, dtype=float)
+    # Two-pointer sweep: for each centre k find [lo, k) and [k, hi).
+    lo = 0
+    hi = 0
+    for k in range(n):
+        t = times[k]
+        while lo < n and times[lo] < t - half:
+            lo += 1
+        if hi < k:
+            hi = k
+        while hi < n and times[hi] < t + half:
+            hi += 1
+        first, second = values[lo:k], values[k:hi]
+        if first.size and second.size:
+            stats[k] = gaussian_mean_change_statistic(first, second)
+    return Curve(kind="MC", times=times.copy(), indices=np.arange(n), values=stats)
+
+
+def arrival_rate_curve(
+    days: np.ndarray,
+    counts: np.ndarray,
+    half_width_days: int,
+    kind: str = "ARC",
+    total_llr: bool = True,
+) -> Curve:
+    """ARC curve over a daily-count series with half-width ``D`` days.
+
+    ``ARC(k')`` is the Poisson GLRT statistic between counts
+    ``[k'-D, k')`` and ``[k', k'+D)``; edge windows shrink symmetrically
+    (Section IV-C.2).  ``days`` holds the day index of each count.
+
+    With ``total_llr=True`` (default) each point is the *total*
+    log-likelihood ratio of its window (statistic times window length),
+    which keeps one absolute threshold valid across window sizes; with
+    ``False`` it is the paper's per-day form (Eq. 5 left-hand side).
+    """
+    days = np.asarray(days, dtype=float)
+    counts = np.asarray(counts, dtype=float)
+    if days.size != counts.size:
+        raise ValidationError("days and counts must be aligned")
+    half_width_days = check_positive_int(half_width_days, "half_width_days")
+    if counts.size < 2:
+        return _empty_curve(kind)
+    centers, stats = [], []
+    for center, start, stop in centered_windows(counts.size, half_width_days):
+        stats.append(
+            poisson_rate_change_statistic(
+                counts[start:center], counts[center:stop], total=total_llr
+            )
+        )
+        centers.append(center)
+    centers_arr = np.asarray(centers, dtype=int)
+    return Curve(
+        kind=kind,
+        times=days[centers_arr],
+        indices=centers_arr,
+        values=np.asarray(stats, dtype=float),
+    )
+
+
+def histogram_change_curve(
+    times: np.ndarray, values: np.ndarray, window_ratings: int
+) -> Curve:
+    """HC curve: two-cluster balance over rating-count windows.
+
+    Within each window of ``window_ratings`` ratings (sliding by one), the
+    values are split into two single-linkage clusters of sizes ``n1, n2``
+    and ``HC = min(n1/n2, n2/n1)``.  A window whose values collapse into a
+    single cluster gets ``HC = 0``.  The curve is indexed by the window's
+    centre rating.  Values near ``1`` mean a balanced bimodal histogram --
+    the signature of a sizeable block of unfair ratings far from the fair
+    mode.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    window_ratings = check_positive_int(window_ratings, "window_ratings", minimum=2)
+    n = values.size
+    if n < window_ratings:
+        return _empty_curve("HC")
+    centers, stats = [], []
+    for start in range(0, n - window_ratings + 1):
+        stop = start + window_ratings
+        labels = two_cluster_split_1d(values[start:stop])
+        n1 = int(np.sum(labels == 0))
+        n2 = int(np.sum(labels == 1))
+        if n1 == 0 or n2 == 0:
+            stats.append(0.0)
+        else:
+            stats.append(min(n1 / n2, n2 / n1))
+        centers.append(start + window_ratings // 2)
+    centers_arr = np.asarray(centers, dtype=int)
+    return Curve(
+        kind="HC",
+        times=times[centers_arr],
+        indices=centers_arr,
+        values=np.asarray(stats, dtype=float),
+    )
+
+
+def model_error_curve(
+    times: np.ndarray, values: np.ndarray, window_ratings: int, order: int = 4
+) -> Curve:
+    """ME curve: normalized AR model error over rating-count windows.
+
+    Low model error means the window contains a predictable signal, i.e.
+    likely collaborative unfair ratings (Section IV-E).
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    window_ratings = check_positive_int(window_ratings, "window_ratings", minimum=2)
+    order = check_positive_int(order, "order")
+    if window_ratings < 2 * order:
+        raise ValidationError(
+            f"window_ratings={window_ratings} too small for AR({order}) covariance fit"
+        )
+    n = values.size
+    if n < window_ratings:
+        return _empty_curve("ME")
+    centers, stats = [], []
+    for start in range(0, n - window_ratings + 1):
+        stop = start + window_ratings
+        fit = fit_ar_covariance(values[start:stop], order)
+        stats.append(fit.normalized_error)
+        centers.append(start + window_ratings // 2)
+    centers_arr = np.asarray(centers, dtype=int)
+    return Curve(
+        kind="ME",
+        times=times[centers_arr],
+        indices=centers_arr,
+        values=np.asarray(stats, dtype=float),
+    )

@@ -1,0 +1,374 @@
+"""Core data model: rating records, per-product rating streams, datasets.
+
+The whole library works over three small types:
+
+- :class:`Rating` -- one rating event: *who* rated *what*, *when*, with what
+  *value*, plus a ground-truth ``unfair`` flag (known in simulations, which
+  is exactly the point of the paper's rating challenge: collect unfair
+  ratings *with* ground truth).
+- :class:`RatingStream` -- all ratings for a single product, sorted by time,
+  stored columnar (numpy arrays) because the detectors are windowed
+  numerical algorithms.
+- :class:`RatingDataset` -- a mapping of product id to stream, with helpers
+  to merge attack ratings into fair ratings.
+
+Times are measured in **days** (floats) since the start of the observation
+period; the paper's challenge ran for roughly 82 days and computes its MP
+metric over 30-day months.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EmptyDataError, ValidationError
+
+__all__ = [
+    "RatingScale",
+    "DEFAULT_SCALE",
+    "Rating",
+    "RatingStream",
+    "RatingDataset",
+]
+
+
+@dataclass(frozen=True)
+class RatingScale:
+    """The closed interval of admissible rating values.
+
+    The paper's data uses a 0..5 scale with fair means around 4; other
+    deployments (e.g. 1..5 stars) are supported by constructing a different
+    scale and passing it where relevant.
+    """
+
+    minimum: float = 0.0
+    maximum: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not self.minimum < self.maximum:
+            raise ValidationError(
+                f"rating scale requires minimum < maximum, got [{self.minimum}, {self.maximum}]"
+            )
+
+    @property
+    def width(self) -> float:
+        """Length of the scale interval."""
+        return self.maximum - self.minimum
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies on the scale (inclusive)."""
+        return self.minimum <= value <= self.maximum
+
+    def clip(self, values: np.ndarray) -> np.ndarray:
+        """Clip an array of values onto the scale."""
+        return np.clip(np.asarray(values, dtype=float), self.minimum, self.maximum)
+
+
+DEFAULT_SCALE = RatingScale(0.0, 5.0)
+
+
+@dataclass(frozen=True, order=True)
+class Rating:
+    """A single rating event.
+
+    Ordering is by ``(time, rater_id, product_id, value)`` so sorting a list
+    of ratings yields a deterministic chronological order.
+    """
+
+    time: float
+    rater_id: str = field(compare=True)
+    product_id: str = field(compare=True)
+    value: float = field(compare=True)
+    unfair: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.time):
+            raise ValidationError(f"rating time must be finite, got {self.time!r}")
+        if not np.isfinite(self.value):
+            raise ValidationError(f"rating value must be finite, got {self.value!r}")
+
+
+class RatingStream:
+    """All ratings for one product, sorted by time, stored columnar.
+
+    Attributes
+    ----------
+    product_id:
+        The rated product.
+    times:
+        Float array of rating times in days, non-decreasing.
+    values:
+        Float array of rating values, same length.
+    rater_ids:
+        Tuple of rater id strings, same length.
+    unfair:
+        Boolean ground-truth array, same length.  ``True`` marks ratings
+        injected by an attack (known only in simulation).
+    """
+
+    __slots__ = ("product_id", "times", "values", "rater_ids", "unfair")
+
+    def __init__(
+        self,
+        product_id: str,
+        times: Sequence[float],
+        values: Sequence[float],
+        rater_ids: Sequence[str],
+        unfair: Optional[Sequence[bool]] = None,
+    ) -> None:
+        times_arr = np.asarray(times, dtype=float)
+        values_arr = np.asarray(values, dtype=float)
+        raters = tuple(str(r) for r in rater_ids)
+        if unfair is None:
+            unfair_arr = np.zeros(times_arr.size, dtype=bool)
+        else:
+            unfair_arr = np.asarray(unfair, dtype=bool)
+        n = times_arr.size
+        if not (values_arr.size == n and len(raters) == n and unfair_arr.size == n):
+            raise ValidationError(
+                "times, values, rater_ids and unfair must have equal lengths; got "
+                f"{times_arr.size}, {values_arr.size}, {len(raters)}, {unfair_arr.size}"
+            )
+        if n and not np.all(np.isfinite(times_arr)):
+            raise ValidationError("rating times must be finite")
+        if n and not np.all(np.isfinite(values_arr)):
+            raise ValidationError("rating values must be finite")
+        order = np.argsort(times_arr, kind="stable")
+        self.product_id = str(product_id)
+        self.times = times_arr[order]
+        self.values = values_arr[order]
+        self.rater_ids = tuple(raters[i] for i in order)
+        self.unfair = unfair_arr[order]
+        # Freeze the arrays: streams are treated as immutable snapshots.
+        self.times.setflags(write=False)
+        self.values.setflags(write=False)
+        self.unfair.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_ratings(cls, product_id: str, ratings: Iterable[Rating]) -> "RatingStream":
+        """Build a stream from :class:`Rating` records for one product.
+
+        Ratings whose ``product_id`` differs from ``product_id`` raise
+        :class:`~repro.errors.ValidationError` -- mixing products in one
+        stream is always a bug.
+        """
+        times: List[float] = []
+        values: List[float] = []
+        raters: List[str] = []
+        unfair: List[bool] = []
+        for rating in ratings:
+            if rating.product_id != product_id:
+                raise ValidationError(
+                    f"rating for product {rating.product_id!r} cannot join "
+                    f"stream of product {product_id!r}"
+                )
+            times.append(rating.time)
+            values.append(rating.value)
+            raters.append(rating.rater_id)
+            unfair.append(rating.unfair)
+        return cls(product_id, times, values, raters, unfair)
+
+    @classmethod
+    def empty(cls, product_id: str) -> "RatingStream":
+        """An empty stream for ``product_id``."""
+        return cls(product_id, [], [], [], [])
+
+    # ------------------------------------------------------------------ #
+    # Basic protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    def __iter__(self) -> Iterator[Rating]:
+        for i in range(len(self)):
+            yield self.rating_at(i)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RatingStream(product_id={self.product_id!r}, n={len(self)}, "
+            f"unfair={int(self.unfair.sum())})"
+        )
+
+    def rating_at(self, index: int) -> Rating:
+        """The :class:`Rating` record at positional ``index``."""
+        return Rating(
+            time=float(self.times[index]),
+            rater_id=self.rater_ids[index],
+            product_id=self.product_id,
+            value=float(self.values[index]),
+            unfair=bool(self.unfair[index]),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Views and derived data
+    # ------------------------------------------------------------------ #
+
+    def subset(self, mask: np.ndarray) -> "RatingStream":
+        """A new stream containing only the rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.size != len(self):
+            raise ValidationError(
+                f"mask length {mask.size} does not match stream length {len(self)}"
+            )
+        raters = tuple(r for r, keep in zip(self.rater_ids, mask) if keep)
+        return RatingStream(
+            self.product_id, self.times[mask], self.values[mask], raters, self.unfair[mask]
+        )
+
+    def fair_only(self) -> "RatingStream":
+        """The sub-stream of ground-truth fair ratings."""
+        return self.subset(~self.unfair)
+
+    def unfair_only(self) -> "RatingStream":
+        """The sub-stream of ground-truth unfair ratings."""
+        return self.subset(self.unfair)
+
+    def between(self, start: float, stop: float) -> "RatingStream":
+        """Ratings with ``start <= time < stop``."""
+        mask = (self.times >= start) & (self.times < stop)
+        return self.subset(mask)
+
+    def merge(self, other: "RatingStream") -> "RatingStream":
+        """A new stream with both streams' ratings, time-sorted.
+
+        This is how attack ratings are injected into fair data.
+        """
+        if other.product_id != self.product_id:
+            raise ValidationError(
+                f"cannot merge stream for {other.product_id!r} into {self.product_id!r}"
+            )
+        return RatingStream(
+            self.product_id,
+            np.concatenate([self.times, other.times]),
+            np.concatenate([self.values, other.values]),
+            self.rater_ids + other.rater_ids,
+            np.concatenate([self.unfair, other.unfair]),
+        )
+
+    def time_span(self) -> Tuple[float, float]:
+        """``(first, last)`` rating times.  Raises on an empty stream."""
+        if len(self) == 0:
+            raise EmptyDataError(f"stream for {self.product_id!r} is empty")
+        return float(self.times[0]), float(self.times[-1])
+
+    def daily_counts(
+        self, start_day: Optional[float] = None, end_day: Optional[float] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Number of ratings received per whole day.
+
+        Returns ``(days, counts)`` where ``days`` are integer day indices
+        covering ``[floor(start), ceil(end))`` and ``counts[i]`` is the
+        number of ratings with ``days[i] <= time < days[i] + 1``.  This is
+        the ``y(n)`` series consumed by the arrival-rate change detector.
+        """
+        if len(self) == 0:
+            return np.array([], dtype=int), np.array([], dtype=int)
+        lo = float(np.floor(self.times[0] if start_day is None else start_day))
+        hi = float(np.ceil(self.times[-1] + 1e-9 if end_day is None else end_day))
+        if hi <= lo:
+            hi = lo + 1.0
+        days = np.arange(int(lo), int(hi), dtype=int)
+        edges = np.arange(int(lo), int(hi) + 1, dtype=float)
+        counts, _ = np.histogram(self.times, bins=edges)
+        return days, counts.astype(int)
+
+    def mean_value(self) -> float:
+        """Arithmetic mean of the rating values.  Raises on empty streams."""
+        if len(self) == 0:
+            raise EmptyDataError(f"stream for {self.product_id!r} is empty")
+        return float(self.values.mean())
+
+
+class RatingDataset:
+    """A collection of per-product rating streams.
+
+    The dataset is the unit the challenge, the attack generator, and the
+    aggregation schemes operate on.  It behaves like a read-only mapping
+    ``product_id -> RatingStream``.
+    """
+
+    __slots__ = ("_streams",)
+
+    def __init__(self, streams: Iterable[RatingStream]) -> None:
+        mapping: Dict[str, RatingStream] = {}
+        for stream in streams:
+            if stream.product_id in mapping:
+                raise ValidationError(
+                    f"duplicate stream for product {stream.product_id!r}; "
+                    "merge the streams before building the dataset"
+                )
+            mapping[stream.product_id] = stream
+        self._streams = mapping
+
+    # Mapping-style protocol ------------------------------------------- #
+
+    def __getitem__(self, product_id: str) -> RatingStream:
+        return self._streams[product_id]
+
+    def __contains__(self, product_id: str) -> bool:
+        return product_id in self._streams
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._streams)
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        total = sum(len(s) for s in self._streams.values())
+        return f"RatingDataset(products={len(self)}, ratings={total})"
+
+    @property
+    def product_ids(self) -> Tuple[str, ...]:
+        """Product ids in insertion order."""
+        return tuple(self._streams)
+
+    def streams(self) -> Tuple[RatingStream, ...]:
+        """All streams in insertion order."""
+        return tuple(self._streams.values())
+
+    def total_ratings(self) -> int:
+        """Total rating count across all products."""
+        return sum(len(s) for s in self._streams.values())
+
+    # Derived datasets -------------------------------------------------- #
+
+    def merge(self, extra: Mapping[str, RatingStream]) -> "RatingDataset":
+        """A new dataset with ``extra`` streams merged product-wise.
+
+        Products present only in ``extra`` are added; products present in
+        both are merged.  The receiver is unchanged.
+        """
+        merged: List[RatingStream] = []
+        for product_id, stream in self._streams.items():
+            if product_id in extra:
+                merged.append(stream.merge(extra[product_id]))
+            else:
+                merged.append(stream)
+        for product_id, stream in extra.items():
+            if product_id not in self._streams:
+                merged.append(stream)
+        return RatingDataset(merged)
+
+    def fair_only(self) -> "RatingDataset":
+        """Dataset with all ground-truth unfair ratings removed."""
+        return RatingDataset([s.fair_only() for s in self._streams.values()])
+
+    def map_streams(self, func) -> "RatingDataset":
+        """Dataset built by applying ``func`` to each stream."""
+        return RatingDataset([func(s) for s in self._streams.values()])
+
+    def rater_ids(self) -> Tuple[str, ...]:
+        """Sorted unique rater ids across all products."""
+        seen = set()
+        for stream in self._streams.values():
+            seen.update(stream.rater_ids)
+        return tuple(sorted(seen))

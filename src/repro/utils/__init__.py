@@ -1,0 +1,36 @@
+"""Shared low-level helpers used across the :mod:`repro` library.
+
+The submodules are deliberately small and dependency-free (numpy only):
+
+- :mod:`repro.utils.validation` -- argument checking helpers that raise
+  :class:`repro.errors.ValidationError` with readable messages.
+- :mod:`repro.utils.rng` -- seeding helpers producing
+  :class:`numpy.random.Generator` instances.
+- :mod:`repro.utils.windows` -- sliding-window index construction, including
+  the shrinking edge windows used by the paper's indicator curves.
+- :mod:`repro.utils.stats` -- tiny numeric helpers (safe logs, clipping to
+  the rating scale, descriptive statistics).
+"""
+
+from repro.utils.rng import resolve_rng, spawn_rng
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+from repro.utils.windows import centered_windows, shrink_to_bounds, sliding_window_indices
+
+__all__ = [
+    "resolve_rng",
+    "spawn_rng",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "centered_windows",
+    "shrink_to_bounds",
+    "sliding_window_indices",
+]

@@ -1,0 +1,50 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``seed`` argument that
+may be ``None`` (non-deterministic), an integer, or an existing
+:class:`numpy.random.Generator`. :func:`resolve_rng` normalises all three
+into a ``Generator`` so downstream code never branches on the seed type.
+
+:func:`spawn_rng` derives independent child generators from a parent, which
+keeps parallel components (e.g. the per-participant attack simulators in the
+synthetic challenge population) statistically independent while remaining
+reproducible from a single root seed.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["SeedLike", "resolve_rng", "spawn_rng"]
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    - ``None``: fresh OS-entropy generator.
+    - ``int``: deterministic generator seeded with that value.
+    - ``Generator``: returned unchanged (shared state, by design).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, count: int = 1) -> list:
+    """Derive ``count`` statistically independent child generators.
+
+    The children are produced by jumping the parent's bit generator via
+    ``spawn`` when available, falling back to seeding from the parent's
+    own stream otherwise (older numpy).
+    """
+    if count < 1:
+        return []
+    try:
+        seeds = rng.bit_generator.seed_seq.spawn(count)  # type: ignore[union-attr]
+        return [np.random.default_rng(s) for s in seeds]
+    except AttributeError:
+        return [np.random.default_rng(int(rng.integers(0, 2**63 - 1))) for _ in range(count)]

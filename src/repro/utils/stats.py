@@ -1,0 +1,89 @@
+"""Small numeric helpers shared by the detectors and generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EmptyDataError
+
+__all__ = [
+    "safe_xlogx",
+    "clip_to_scale",
+    "DescriptiveStats",
+    "describe",
+    "running_mean",
+]
+
+
+def safe_xlogx(x: np.ndarray) -> np.ndarray:
+    """Return ``x * log(x)`` elementwise with the convention ``0·log 0 = 0``.
+
+    Used by the Poisson GLRT statistic, where empty half-windows yield zero
+    estimated arrival rates.
+    """
+    x = np.asarray(x, dtype=float)
+    out = np.zeros_like(x)
+    positive = x > 0
+    out[positive] = x[positive] * np.log(x[positive])
+    return out
+
+
+def clip_to_scale(values: np.ndarray, low: float, high: float) -> np.ndarray:
+    """Clip rating values into the rating scale ``[low, high]``."""
+    return np.clip(np.asarray(values, dtype=float), low, high)
+
+
+@dataclass(frozen=True)
+class DescriptiveStats:
+    """Mean / standard deviation / extrema summary of a sample.
+
+    ``std`` is the population standard deviation (``ddof=0``) to match the
+    paper's usage, where the "variance" of an unfair-rating value set is a
+    property of the submitted set itself rather than an estimator of a
+    hypothetical larger population.
+    """
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+
+def describe(values: Sequence[float]) -> DescriptiveStats:
+    """Return :class:`DescriptiveStats` of ``values`` (must be non-empty)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise EmptyDataError("cannot describe an empty sample")
+    return DescriptiveStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def running_mean(values: Sequence[float], width: int) -> np.ndarray:
+    """Centered running mean with shrinking edge windows.
+
+    Mirrors the edge behaviour of the indicator curves: positions near the
+    boundary average over however much of the window fits.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return arr.copy()
+    if width < 1:
+        raise EmptyDataError("width must be >= 1")
+    half = max(width // 2, 1)
+    out = np.empty_like(arr)
+    n = arr.size
+    cumsum = np.concatenate(([0.0], np.cumsum(arr)))
+    for i in range(n):
+        lo = max(0, i - half)
+        hi = min(n, i + half + 1)
+        out[i] = (cumsum[hi] - cumsum[lo]) / (hi - lo)
+    return out

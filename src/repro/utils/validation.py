@@ -1,0 +1,107 @@
+"""Argument validation helpers.
+
+Every helper raises :class:`repro.errors.ValidationError` on failure and
+returns the (possibly coerced) value on success, so they can be used inline::
+
+    self.window = check_positive_int(window, "window")
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_positive_int",
+    "check_probability",
+    "check_in_range",
+]
+
+
+def _check_finite_number(value: float, name: str) -> float:
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ValidationError(f"{name} must be a real number, got {value!r}") from None
+    if math.isnan(value) or math.isinf(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return ``value`` as a float, requiring ``value > 0``."""
+    value = _check_finite_number(value, name)
+    if value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Return ``value`` as a float, requiring ``value >= 0``."""
+    value = _check_finite_number(value, name)
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_positive_int(value: int, name: str, minimum: int = 1) -> int:
+    """Return ``value`` as an int, requiring ``value >= minimum``.
+
+    Accepts floats only when they are integral (e.g. ``3.0``), so silent
+    truncation never happens.
+    """
+    if isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got a bool")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise ValidationError(f"{name} must be an integer, got {value!r}")
+        value = int(value)
+    if not isinstance(value, int):
+        try:
+            as_int = int(value)
+        except (TypeError, ValueError):
+            raise ValidationError(f"{name} must be an integer, got {value!r}") from None
+        if as_int != value:
+            raise ValidationError(f"{name} must be an integer, got {value!r}")
+        value = as_int
+    if value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Return ``value`` as a float, requiring ``0 <= value <= 1``."""
+    value = _check_finite_number(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> float:
+    """Return ``value`` as a float, requiring it to lie in the given interval.
+
+    ``low``/``high`` may be ``None`` for a half-open requirement.
+    """
+    value = _check_finite_number(value, name)
+    if low is not None:
+        if low_inclusive and value < low:
+            raise ValidationError(f"{name} must be >= {low}, got {value!r}")
+        if not low_inclusive and value <= low:
+            raise ValidationError(f"{name} must be > {low}, got {value!r}")
+    if high is not None:
+        if high_inclusive and value > high:
+            raise ValidationError(f"{name} must be <= {high}, got {value!r}")
+        if not high_inclusive and value >= high:
+            raise ValidationError(f"{name} must be < {high}, got {value!r}")
+    return value

@@ -1,0 +1,72 @@
+"""Sliding-window index construction.
+
+The paper's indicator curves (Sections IV-B.2 and IV-C.2) are built by
+sliding a window of half-width ``W`` over the rating sequence and computing
+a test statistic at the window's centre.  Near the sequence boundaries the
+full window does not fit; the paper prescribes using *a smaller window size*
+there rather than dropping those positions.  :func:`centered_windows`
+implements exactly that: for each centre ``k`` it returns the largest
+symmetric window around ``k`` that fits inside ``[0, n)``, capped at the
+nominal half-width.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["sliding_window_indices", "centered_windows", "shrink_to_bounds"]
+
+
+def sliding_window_indices(n: int, width: int, step: int = 1) -> Iterator[Tuple[int, int]]:
+    """Yield ``(start, stop)`` half-open index pairs for full windows.
+
+    Only windows that fully fit in ``[0, n)`` are yielded.  ``width`` is the
+    total window length.  Yields nothing when ``n < width``.
+    """
+    width = check_positive_int(width, "width")
+    step = check_positive_int(step, "step")
+    if n < width:
+        return
+    for start in range(0, n - width + 1, step):
+        yield (start, start + width)
+
+
+def shrink_to_bounds(center: int, half_width: int, n: int) -> Tuple[int, int]:
+    """Return the largest symmetric half-open window around ``center``.
+
+    The window is ``[center - h, center + h)`` with ``h`` as large as
+    possible subject to ``h <= half_width`` and the window fitting inside
+    ``[0, n)``.  At the very edges the window degenerates to a width-2
+    window when possible, and to an empty window for ``n < 2``.
+
+    The "centre" convention matches the paper's curves: the first half of
+    the window is ``[center - h, center)`` and the second half is
+    ``[center, center + h)``, so the tested change point sits *between*
+    sample ``center - 1`` and sample ``center``.
+    """
+    half_width = check_positive_int(half_width, "half_width")
+    if n < 2:
+        return (0, 0)
+    if not 1 <= center <= n - 1:
+        # A change point needs at least one sample on each side.
+        return (0, 0)
+    h = min(half_width, center, n - center)
+    return (center - h, center + h)
+
+
+def centered_windows(n: int, half_width: int) -> List[Tuple[int, int, int]]:
+    """Return ``(center, start, stop)`` for every valid change-point centre.
+
+    Centres run over ``1 .. n-1`` (a change point must have at least one
+    sample on each side).  Windows shrink symmetrically near the edges per
+    :func:`shrink_to_bounds`.
+    """
+    half_width = check_positive_int(half_width, "half_width")
+    out: List[Tuple[int, int, int]] = []
+    for center in range(1, max(n, 1)):
+        start, stop = shrink_to_bounds(center, half_width, n)
+        if stop - start >= 2:
+            out.append((center, start, stop))
+    return out

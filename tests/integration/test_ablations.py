@@ -1,0 +1,58 @@
+"""Integration tests for the P-scheme ablation machinery."""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.experiments.ablations import ABLATION_VARIANTS, run_pscheme_ablation
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_pscheme_ablation(ExperimentContext(seed=2008, population_size=1))
+
+
+class TestAblation:
+    def test_all_variants_present(self, result):
+        assert set(result.variant_names) == set(ABLATION_VARIANTS)
+        assert "full" in result.variant_names
+
+    def test_all_attacks_scored_everywhere(self, result):
+        for variant in result.variant_names:
+            assert set(result.mp[variant]) == set(result.attack_names)
+
+    def test_full_scheme_strongest_on_designed_attacks(self, result):
+        # Small slack: extra long-window peaks can shift marks by a rating
+        # or two, moving MP at the third decimal without changing the story.
+        full = result.mp["full"]
+        for attack in ("windowed downgrade", "one-day burst"):
+            for variant in result.variant_names:
+                assert full[attack] <= result.mp[variant][attack] + 0.05
+
+    def test_path1_removal_costs_defense(self, result):
+        assert sum(result.mp["no-path1"].values()) > sum(result.mp["full"].values())
+
+    def test_long_window_catches_drip(self, result):
+        assert (
+            result.mp["single-scale"]["whole-window drip"]
+            > result.mp["full"]["whole-window drip"]
+        )
+
+    def test_trust_layer_contributes(self, result):
+        assert sum(result.mp["filter-only"].values()) > sum(
+            result.mp["full"].values()
+        )
+
+    def test_camouflage_weakens_trust_defense(self, result):
+        """Camouflage is designed to defeat the trust layer, so it should
+        retain more MP against the full scheme than the plain windowed
+        attack does (relative to the SA reference)."""
+        full = result.mp["full"]
+        sa = result.sa_mp
+        windowed_retention = full["windowed downgrade"] / sa["windowed downgrade"]
+        camouflage_retention = full["camouflage strike"] / sa["camouflage strike"]
+        assert camouflage_retention > windowed_retention
+
+    def test_to_text_renders(self, result):
+        text = result.to_text()
+        assert "ablation" in text
+        assert "whole-window drip" in text

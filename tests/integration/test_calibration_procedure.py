@@ -1,0 +1,83 @@
+"""Integration tests for the automatic threshold calibration."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackGenerator, AttackSpec, ProductTarget, UniformWindow
+from repro.detectors import JointDetector
+from repro.detectors.base import DetectorConfig
+from repro.detectors.calibration import calibrate_thresholds
+from repro.errors import EmptyDataError, ValidationError
+from repro.marketplace import FairRatingGenerator, RatingChallenge
+from repro.types import RatingDataset, RatingStream
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    fair_worlds = [FairRatingGenerator(seed=s).generate() for s in (70, 71)]
+    return calibrate_thresholds(fair_worlds, percentile=95.0)
+
+
+class TestCalibrationMechanics:
+    def test_returns_modified_config(self, calibration):
+        config = calibration.config
+        assert isinstance(config, DetectorConfig)
+        assert config.harc_alarm_threshold == pytest.approx(
+            1.25 * config.harc_peak_threshold
+        )
+        assert config.larc_alarm_threshold == pytest.approx(
+            1.25 * config.larc_peak_threshold
+        )
+        assert config.hc_suspicious_threshold <= 0.98
+
+    def test_null_statistics_summary(self, calibration):
+        summary = calibration.null_statistics.summary()
+        assert set(summary) == {"MC", "H-ARC", "L-ARC", "HC", "ME(min)"}
+        for _name, (median, p90, peak) in summary.items():
+            assert median <= p90 <= peak
+
+    def test_windows_unchanged(self, calibration):
+        base = DetectorConfig()
+        config = calibration.config
+        assert config.mc_window_days == base.mc_window_days
+        assert config.hc_window_ratings == base.hc_window_ratings
+
+    def test_invalid_arguments(self):
+        world = FairRatingGenerator(seed=0).generate()
+        with pytest.raises(ValidationError):
+            calibrate_thresholds([world], percentile=40.0)
+        with pytest.raises(ValidationError):
+            calibrate_thresholds([world], margin=0.0)
+
+    def test_empty_sample_rejected(self):
+        empty = RatingDataset([RatingStream.empty("p")])
+        with pytest.raises(EmptyDataError):
+            calibrate_thresholds([empty])
+
+
+class TestCalibratedOperatingPoint:
+    def test_low_false_alarms_on_held_out_world(self, calibration):
+        detector = JointDetector(calibration.config)
+        held_out = FairRatingGenerator(seed=99).generate()
+        marked = total = 0
+        for pid in held_out:
+            report = detector.analyze(held_out[pid])
+            marked += report.num_suspicious
+            total += len(held_out[pid])
+        assert marked / total < 0.02
+
+    def test_canonical_attack_still_caught(self, calibration):
+        challenge = RatingChallenge(seed=98)
+        generator = AttackGenerator(
+            challenge.fair_dataset, challenge.config.biased_rater_ids(), seed=98
+        )
+        pid = challenge.fair_dataset.product_ids[0]
+        submission = generator.generate(
+            [ProductTarget(pid, -1)],
+            AttackSpec(3.0, 0.2, 50, UniformWindow(30.0, 20.0)),
+        )
+        attacked = challenge.fair_dataset.merge(submission.as_dict())
+        report = JointDetector(calibration.config).analyze(attacked[pid])
+        unfair = attacked[pid].unfair
+        recall = (report.suspicious & unfair).sum() / unfair.sum()
+        assert recall > 0.8

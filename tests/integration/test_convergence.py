@@ -1,0 +1,73 @@
+"""Integration tests for the convergence study machinery."""
+
+import pytest
+
+from repro.aggregation import SimpleAveragingScheme
+from repro.analysis.bias_variance import Region
+from repro.errors import ValidationError
+from repro.experiments.convergence import ConvergenceStudy, run_convergence_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_convergence_study(
+        SimpleAveragingScheme(), sizes=(20, 40, 80), seed=2008
+    )
+
+
+class TestConvergenceStudy:
+    def test_sizes_sorted_and_deduped(self):
+        result = run_convergence_study(
+            SimpleAveragingScheme(), sizes=(40, 20, 40), seed=2008
+        )
+        assert result.sizes == (20, 40)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValidationError):
+            run_convergence_study(SimpleAveragingScheme(), sizes=())
+        with pytest.raises(ValidationError):
+            run_convergence_study(SimpleAveragingScheme(), sizes=(2,))
+
+    def test_outputs_aligned(self, study):
+        assert len(study.dominant_regions) == len(study.sizes)
+        assert len(study.centroids) == len(study.sizes)
+
+    def test_final_conclusion_r1_under_sa(self, study):
+        assert study.dominant_regions[-1] is Region.R1
+
+    def test_stable_from_semantics(self):
+        made = ConvergenceStudy(
+            scheme_name="SA",
+            product_id="tv1",
+            sizes=(10, 20, 40),
+            dominant_regions=(Region.R3, Region.R1, Region.R1),
+            centroids=((-1.0, 0.9), (-2.0, 0.4), (-3.0, 0.2)),
+        )
+        assert made.stable_from() == 20
+
+    def test_stable_from_none_when_unstable(self):
+        made = ConvergenceStudy(
+            scheme_name="SA",
+            product_id="tv1",
+            sizes=(10, 20),
+            dominant_regions=(Region.R1, None),
+            centroids=((-1.0, 0.9), None),
+        )
+        assert made.stable_from() is None
+
+    def test_to_text(self, study):
+        text = study.to_text()
+        assert "convergence" in text
+        assert str(study.sizes[0]) in text
+
+    def test_nested_prefixes_share_evaluations(self, study):
+        # With nested populations the centroids must differ across sizes
+        # only by the *added* submissions; a crude consistency check is
+        # that the 40-prefix includes the 20-prefix's winners' influence:
+        # the centroid cannot jump outside the plane.
+        for centroid in study.centroids:
+            if centroid is None:
+                continue
+            bias, std = centroid
+            assert -4.0 <= bias <= 1.0
+            assert 0.0 <= std <= 2.0

@@ -1,0 +1,105 @@
+"""Calibration contract for the joint detector.
+
+These tests pin the operating point the DetectorConfig defaults were tuned
+for: near-zero false alarms on fair-only synthetic data, high recall on the
+canonical Section IV attacks, and the *intended* blindness to high-variance
+attacks (which is the paper's R3 finding, not a bug).
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackGenerator, AttackSpec, ProductTarget
+from repro.attacks.time_models import ConcentratedBurst, UniformWindow
+from repro.detectors import JointDetector
+from repro.marketplace import FairRatingGenerator, RatingChallenge
+
+
+@pytest.fixture(scope="module")
+def challenge():
+    return RatingChallenge(seed=314)
+
+
+def fresh_generator(challenge, seed):
+    """Per-test generator so RNG consumption in one test cannot shift
+    another test's data."""
+    return AttackGenerator(
+        challenge.fair_dataset, challenge.config.biased_rater_ids(), seed=seed
+    )
+
+
+def detect_on_attack(challenge, generator, spec, product_index=0, direction=-1):
+    pid = challenge.fair_dataset.product_ids[product_index]
+    submission = generator.generate([ProductTarget(pid, direction)], spec)
+    attacked = challenge.fair_dataset.merge(submission.as_dict())
+    stream = attacked[pid]
+    report = JointDetector().analyze(stream)
+    unfair = stream.unfair
+    recall = float((report.suspicious & unfair).sum()) / max(int(unfair.sum()), 1)
+    collateral = float((report.suspicious & ~unfair).sum()) / max(
+        int((~unfair).sum()), 1
+    )
+    return recall, collateral
+
+
+class TestFalseAlarms:
+    def test_fair_worlds_stay_clean(self):
+        detector = JointDetector()
+        marked = total = 0
+        for seed in range(3):
+            dataset = FairRatingGenerator(seed=seed).generate()
+            for pid in dataset:
+                report = detector.analyze(dataset[pid])
+                marked += report.num_suspicious
+                total += len(dataset[pid])
+        assert marked / total < 0.01
+
+
+class TestRecallOnCanonicalAttacks:
+    def test_window_downgrade(self, challenge):
+        spec = AttackSpec(3.0, 0.2, 50, UniformWindow(30.0, 25.0))
+        recall, collateral = detect_on_attack(
+            challenge, fresh_generator(challenge, 1), spec
+        )
+        assert recall > 0.85
+        assert collateral < 0.05
+
+    def test_burst_downgrade(self, challenge):
+        spec = AttackSpec(3.0, 0.3, 50, ConcentratedBurst(41.0, 2.0))
+        recall, collateral = detect_on_attack(
+            challenge, fresh_generator(challenge, 2), spec, product_index=1
+        )
+        assert recall > 0.9
+        assert collateral < 0.05
+
+    def test_whole_window_drip_detected_against_history(self, challenge):
+        """With pre-challenge history, an attack running the full challenge
+        window is still an onset change (the long-window L-ARC scale)."""
+        span = challenge.end_day - challenge.start_day
+        spec = AttackSpec(
+            3.5, 0.2, 50, UniformWindow(challenge.start_day + 1.0, span - 2.0)
+        )
+        recall, _ = detect_on_attack(
+            challenge, fresh_generator(challenge, 3), spec, product_index=2
+        )
+        assert recall > 0.4
+
+
+class TestIntendedBlindness:
+    def test_high_variance_attack_partially_evades(self, challenge):
+        """Large-variance unfair ratings weaken the signal features: only
+        the low-value tail of the attack lands in the L-ARC count series,
+        so a large fraction of the unfair ratings escapes marking (the
+        paper's region-R3 exploit)."""
+        spec = AttackSpec(1.5, 1.3, 50, UniformWindow(30.0, 25.0))
+        recall, _ = detect_on_attack(
+            challenge, fresh_generator(challenge, 4), spec, product_index=3
+        )
+        assert recall < 0.75
+
+    def test_small_bias_attack_evades(self, challenge):
+        spec = AttackSpec(0.5, 0.3, 30, UniformWindow(30.0, 25.0))
+        recall, _ = detect_on_attack(
+            challenge, fresh_generator(challenge, 5), spec, product_index=4
+        )
+        assert recall < 0.5

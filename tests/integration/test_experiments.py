@@ -1,0 +1,128 @@
+"""Integration tests for the experiment runners (small populations).
+
+These exercise every figure runner end-to-end and check the *shape* claims
+of the paper on a reduced population (full-size reproduction lives in
+``benchmarks/``; EXPERIMENTS.md records the measured numbers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bias_variance import Region
+from repro.experiments import (
+    ExperimentContext,
+    run_bias_variance_figure,
+    run_correlation_figure,
+    run_headline_comparison,
+    run_operating_points,
+    run_region_search_figure,
+    run_time_analysis_figure,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(seed=2008, population_size=40)
+
+
+class TestContext:
+    def test_lazy_world(self, context):
+        assert len(context.challenge.fair_dataset) == 9
+        assert len(context.population) == 40
+
+    def test_results_cached(self, context):
+        first = context.results_for("SA")
+        second = context.results_for("SA")
+        assert first is second
+
+    def test_unknown_scheme_rejected(self, context):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            context.scheme("XX")
+
+
+class TestBiasVarianceFigures:
+    def test_sa_winners_in_r1(self, context):
+        figure = run_bias_variance_figure(context, "SA", "tv1")
+        assert figure.dominant_region in (Region.R1, Region.R2)
+        assert figure.winner_centroid[0] < -1.5  # strongly negative bias
+
+    def test_p_winners_shifted_toward_r3(self, context):
+        # With the reduced population only ~8 submissions downgrade tv1, so
+        # a small top-N is needed for the marks to discriminate between
+        # schemes (the benches run the full 251 population with top 10).
+        figure_p = run_bias_variance_figure(context, "P", "tv1", top_n=3)
+        figure_sa = run_bias_variance_figure(context, "SA", "tv1", top_n=3)
+        # P's winners sit at smaller |bias| / larger variance than SA's.
+        assert figure_p.winner_centroid[0] > figure_sa.winner_centroid[0]
+        assert figure_p.winner_centroid[1] >= figure_sa.winner_centroid[1]
+
+    def test_marks_counts(self, context):
+        figure = run_bias_variance_figure(context, "SA", "tv1", top_n=5)
+        amp = [p for p in figure.points if "AMP" in p.marks]
+        assert len(amp) == 5
+
+    def test_text_rendering(self, context):
+        figure = run_bias_variance_figure(context, "SA", "tv1")
+        text = figure.to_text()
+        assert "Variance-bias plot" in text
+        assert "dominant winner region" in text
+
+
+class TestHeadline:
+    def test_pscheme_max_mp_below_sa_and_bf(self, context):
+        headline = run_headline_comparison(context)
+        assert headline.max_mp["P"] < headline.max_mp["SA"]
+        assert headline.max_mp["P"] < headline.max_mp["BF"]
+        assert headline.p_to_sa_ratio < 0.75  # paper reports ~1/3
+
+    def test_text(self, context):
+        text = run_headline_comparison(context).to_text()
+        assert "P/SA ratio" in text
+
+
+class TestTimeAnalysis:
+    def test_figure_structure(self, context):
+        figure = run_time_analysis_figure(context, "P", "tv1")
+        assert len(figure.bin_centers) == len(figure.max_envelope)
+        assert figure.best_interval >= 0.0
+        assert "best interval" in figure.to_text()
+
+
+class TestCorrelationFigure:
+    def test_rows_and_win_fraction(self, context):
+        figure = run_correlation_figure(
+            context, "SA", top_n=3, random_shuffles=2
+        )
+        assert len(figure.rows) == 3
+        for row in figure.rows:
+            assert len(row.random_mps) == 2
+            assert row.original_mp >= 0.0
+        assert 0.0 <= figure.heuristic_win_fraction <= 1.0
+        assert "Order-strategy comparison" in figure.to_text()
+
+
+class TestRegionSearchFigure:
+    def test_search_against_sa_finds_large_bias(self, context):
+        figure = run_region_search_figure(context, "SA", probes_per_subarea=3)
+        bias, _std = figure.search.best_point
+        # Against plain averaging the strongest region is large bias.
+        assert bias < -1.5
+        assert figure.search.best_mp > 0.0
+        assert "Procedure 2" in figure.to_text()
+
+    def test_trace_shrinks(self, context):
+        figure = run_region_search_figure(context, "SA", probes_per_subarea=1)
+        widths = [r.area.bias_width for r in figure.search.rounds]
+        assert widths == sorted(widths, reverse=True)
+
+
+class TestOperatingPoints:
+    def test_operating_points(self, context):
+        points = run_operating_points(context)
+        assert points.false_alarm_rate < 0.01
+        rows = {name: (recall, collateral) for name, recall, collateral in points.attack_rows}
+        assert rows["strong downgrade (path 1)"][0] > 0.8
+        assert rows["burst downgrade"][0] > 0.8
+        assert "operating points" in points.to_text()

@@ -1,0 +1,50 @@
+"""Integration tests for the detector sensitivity sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.sensitivity import (
+    OperatingPoint,
+    SensitivityResult,
+    sweep_detector_parameter,
+)
+
+
+@pytest.fixture(scope="module")
+def larc_sweep():
+    return sweep_detector_parameter(
+        "larc_peak_threshold", [0.5, 4.2, 16.0], n_fair_worlds=1, n_attacks=2
+    )
+
+
+class TestSweep:
+    def test_points_aligned_with_values(self, larc_sweep):
+        assert [p.value for p in larc_sweep.points] == [0.5, 4.2, 16.0]
+
+    def test_false_alarms_non_increasing_in_threshold(self, larc_sweep):
+        curve = larc_sweep.false_alarm_curve()
+        assert np.all(np.diff(curve) <= 1e-12)
+
+    def test_calibrated_default_operating_point(self, larc_sweep):
+        default = next(p for p in larc_sweep.points if p.value == 4.2)
+        assert default.false_alarm_rate < 0.01
+        assert default.recall > 0.8
+        assert default.collateral < 0.05
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValidationError):
+            sweep_detector_parameter("not_a_field", [1.0])
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValidationError):
+            sweep_detector_parameter("larc_peak_threshold", [])
+
+    def test_to_text(self, larc_sweep):
+        text = larc_sweep.to_text()
+        assert "larc_peak_threshold" in text
+        assert "false alarms" in text
+
+    def test_result_types(self, larc_sweep):
+        assert isinstance(larc_sweep, SensitivityResult)
+        assert all(isinstance(p, OperatingPoint) for p in larc_sweep.points)

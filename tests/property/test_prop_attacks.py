@@ -1,0 +1,114 @@
+"""Property-based tests for the attack models and Procedure 2 geometry."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.correlation import heuristic_correlation_match, random_match
+from repro.attacks.optimizer import SearchArea
+from repro.attacks.time_models import ConcentratedBurst, EvenlySpaced, UniformWindow
+from repro.attacks.value_models import ValueSetSpec, generate_value_set
+from repro.types import RatingStream
+
+bias_strategy = st.floats(min_value=-4.0, max_value=1.0, allow_nan=False)
+std_strategy = st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+
+
+class TestValueSetProperties:
+    @given(st.integers(2, 100), bias_strategy, std_strategy, st.integers(0, 10**6))
+    @settings(max_examples=100)
+    def test_values_always_on_scale(self, n, bias, std, seed):
+        values = generate_value_set(n, 4.0, ValueSetSpec(bias, std), seed=seed)
+        assert values.shape == (n,)
+        assert values.min() >= 0.0
+        assert values.max() <= 5.0
+
+    @given(st.integers(2, 100), st.integers(0, 10**6))
+    def test_moments_exact_when_far_from_clip(self, n, seed):
+        # bias -1, std 0.3 keeps virtually all mass inside [0, 5].
+        spec = ValueSetSpec(-1.0, 0.3)
+        values = generate_value_set(n, 4.0, spec, seed=seed)
+        if values.min() > 0.0 and values.max() < 5.0:
+            assert np.isclose(values.mean(), 3.0, atol=1e-9)
+            assert np.isclose(values.std(), 0.3, atol=1e-9)
+
+    @given(st.integers(1, 50), bias_strategy, st.integers(0, 10**6))
+    def test_zero_std_is_constant(self, n, bias, seed):
+        values = generate_value_set(n, 4.0, ValueSetSpec(bias, 0.0), seed=seed)
+        assert np.unique(values).size == 1
+
+
+class TestTimeModelProperties:
+    @given(
+        st.floats(0.0, 100.0), st.floats(0.1, 100.0), st.integers(1, 100),
+        st.integers(0, 10**6),
+    )
+    def test_uniform_window_bounds(self, start, duration, n, seed):
+        times = UniformWindow(start, duration).sample(n, np.random.default_rng(seed))
+        assert times.size == n
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= start
+        assert times.max() <= start + duration
+
+    @given(st.floats(5.0, 100.0), st.floats(0.1, 5.0), st.integers(1, 100),
+           st.integers(0, 10**6))
+    def test_burst_width_bound(self, center, width, n, seed):
+        times = ConcentratedBurst(center, width).sample(n, np.random.default_rng(seed))
+        assert times.max() - times.min() <= width
+
+    @given(st.floats(0.0, 50.0), st.floats(0.1, 10.0), st.integers(2, 100),
+           st.floats(0.0, 0.9), st.integers(0, 10**6))
+    def test_evenly_spaced_strictly_increasing(self, start, interval, n, jitter, seed):
+        model = EvenlySpaced(start, interval, jitter=jitter)
+        times = model.sample(n, np.random.default_rng(seed))
+        assert np.all(np.diff(times) >= 0)
+        # Total span close to (n-1) * interval regardless of jitter.
+        assert abs((times[-1] - times[0]) - (n - 1) * interval) <= interval
+
+
+class TestCorrelationProperties:
+    @given(st.integers(1, 40), st.integers(0, 10**6))
+    def test_heuristic_preserves_multiset(self, n, seed):
+        rng = np.random.default_rng(seed)
+        times = np.sort(rng.uniform(0.0, 60.0, n))
+        values = rng.uniform(0.0, 5.0, n)
+        fair = RatingStream(
+            "p", np.linspace(0.0, 60.0, 30), rng.uniform(3.0, 5.0, 30),
+            [f"u{i}" for i in range(30)],
+        )
+        out_t, out_v = heuristic_correlation_match(times, values, fair)
+        np.testing.assert_allclose(np.sort(out_v), np.sort(values))
+        np.testing.assert_allclose(out_t, times)
+
+    @given(st.integers(1, 40), st.integers(0, 10**6))
+    def test_random_match_is_permutation(self, n, seed):
+        rng = np.random.default_rng(seed)
+        times = rng.uniform(0.0, 60.0, n)
+        values = rng.uniform(0.0, 5.0, n)
+        _t, out_v = random_match(times, values, seed=seed)
+        np.testing.assert_allclose(np.sort(out_v), np.sort(values))
+
+
+class TestSearchAreaProperties:
+    @given(
+        st.floats(-4.0, -0.5), st.floats(0.0, 1.5),
+        st.integers(1, 9), st.floats(0.0, 0.5),
+    )
+    def test_subdivide_union_covers_parent(self, bias_min, std_min, n, overlap):
+        area = SearchArea(bias_min, bias_min + 2.0, std_min, std_min + 1.0)
+        subareas = area.subdivide(n, overlap=overlap)
+        assert 1 <= len(subareas) <= n
+        for sub in subareas:
+            assert sub.bias_min >= area.bias_min - 1e-9
+            assert sub.bias_max <= area.bias_max + 1e-9
+            assert sub.std_min >= area.std_min - 1e-9
+            assert sub.std_max <= area.std_max + 1e-9
+        assert np.isclose(min(s.bias_min for s in subareas), area.bias_min)
+        assert np.isclose(max(s.bias_max for s in subareas), area.bias_max)
+
+    @given(st.floats(-4.0, 0.0), st.floats(0.0, 2.0))
+    def test_center_inside_area(self, bias_min, std_min):
+        area = SearchArea(bias_min, bias_min + 1.0, std_min, std_min + 0.5)
+        bias, std = area.center
+        assert area.bias_min <= bias <= area.bias_max
+        assert area.std_min <= std <= area.std_max

@@ -1,0 +1,87 @@
+"""Property-based invariance tests for the detector stack.
+
+Detection decisions should depend on the *shape* of the rating process,
+not on arbitrary reference points:
+
+- shifting every timestamp by a whole number of days must not change
+  which ratings are marked (whole days, because the daily-count binning
+  is anchored at integer day boundaries);
+- relabelling rater ids must not change marks (the trust-free pass uses
+  no identity information);
+- detection must be a pure function of the stream (repeated runs agree).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors import JointDetector
+from repro.types import RatingStream
+
+
+def build_stream(seed, n_fair=240, attack=True):
+    rng = np.random.default_rng(seed)
+    times = np.sort(rng.uniform(0.0, 80.0, n_fair))
+    values = np.clip(np.round(rng.normal(4.0, 0.6, n_fair) * 2) / 2, 0, 5)
+    raters = [f"u{i}" for i in range(n_fair)]
+    unfair = np.zeros(n_fair, dtype=bool)
+    if attack:
+        n_atk = 40
+        atk_times = np.sort(rng.uniform(30.0, 45.0, n_atk))
+        atk_values = np.clip(rng.normal(1.0, 0.3, n_atk), 0, 5)
+        times = np.concatenate([times, atk_times])
+        values = np.concatenate([values, atk_values])
+        raters = raters + [f"atk{i}" for i in range(n_atk)]
+        unfair = np.concatenate([unfair, np.ones(n_atk, dtype=bool)])
+    return RatingStream("p", times, values, raters, unfair)
+
+
+class TestDetectorInvariances:
+    @given(st.integers(0, 50), st.integers(-30, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_whole_day_time_shift_invariance(self, seed, shift_days):
+        stream = build_stream(seed)
+        shifted = RatingStream(
+            "p",
+            stream.times + float(shift_days),
+            stream.values,
+            stream.rater_ids,
+            stream.unfair,
+        )
+        detector = JointDetector()
+        base_marks = detector.analyze(stream).suspicious
+        shifted_marks = detector.analyze(shifted).suspicious
+        np.testing.assert_array_equal(base_marks, shifted_marks)
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_rater_relabelling_invariance(self, seed):
+        stream = build_stream(seed)
+        relabelled = RatingStream(
+            "p",
+            stream.times,
+            stream.values,
+            [f"x{i}" for i in range(len(stream))],
+            stream.unfair,
+        )
+        detector = JointDetector()
+        np.testing.assert_array_equal(
+            detector.analyze(stream).suspicious,
+            detector.analyze(relabelled).suspicious,
+        )
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_detection_is_pure(self, seed):
+        stream = build_stream(seed, attack=seed % 2 == 0)
+        a = JointDetector().analyze(stream).suspicious
+        b = JointDetector().analyze(stream).suspicious
+        np.testing.assert_array_equal(a, b)
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_marks_only_within_stream(self, seed):
+        stream = build_stream(seed)
+        report = JointDetector().analyze(stream)
+        assert report.suspicious.shape == (len(stream),)
+        assert report.suspicious.dtype == bool

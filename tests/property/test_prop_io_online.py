@@ -1,0 +1,108 @@
+"""Property-based tests: serialization round-trips and streaming equivalence."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation import SimpleAveragingScheme
+from repro.attacks.base import AttackSubmission, build_attack_stream
+from repro.marketplace.io import (
+    dataset_from_csv,
+    dataset_to_csv,
+    submission_from_json,
+    submission_to_json,
+)
+from repro.online import OnlineRatingSystem
+from repro.types import Rating, RatingDataset, RatingStream
+
+times_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+    min_size=0,
+    max_size=30,
+)
+values_strategy = st.floats(min_value=0.0, max_value=5.0, allow_nan=False)
+
+
+def build_dataset(times_lists):
+    streams = []
+    for index, times in enumerate(times_lists):
+        n = len(times)
+        values = [float((i * 7 % 11) / 2.2) for i in range(n)]
+        raters = [f"u{index}_{i}" for i in range(n)]
+        unfair = [i % 3 == 0 for i in range(n)]
+        streams.append(RatingStream(f"prod{index}", times, values, raters, unfair))
+    return RatingDataset(streams)
+
+
+class TestCsvRoundTripProperties:
+    @given(st.lists(times_strategy, min_size=1, max_size=4))
+    @settings(max_examples=60)
+    def test_round_trip_preserves_everything(self, times_lists):
+        original = build_dataset(times_lists)
+        restored = dataset_from_csv(dataset_to_csv(original))
+        # Products with zero ratings vanish from CSV (no rows); all others
+        # must round-trip exactly.
+        for pid in original:
+            if len(original[pid]) == 0:
+                assert pid not in restored
+                continue
+            np.testing.assert_array_equal(restored[pid].times, original[pid].times)
+            np.testing.assert_array_equal(restored[pid].values, original[pid].values)
+            assert restored[pid].rater_ids == original[pid].rater_ids
+            np.testing.assert_array_equal(restored[pid].unfair, original[pid].unfair)
+
+
+class TestJsonRoundTripProperties:
+    @given(times_strategy, st.integers(0, 2**31))
+    @settings(max_examples=60)
+    def test_submission_round_trip(self, times, seed):
+        rng = np.random.default_rng(seed)
+        n = len(times)
+        values = rng.uniform(0, 5, n)
+        stream = build_attack_stream(
+            "p", times, values, [f"a{i}" for i in range(n)]
+        )
+        original = AttackSubmission(
+            "s", {"p": stream}, strategy="test", params={"seed": seed}
+        )
+        restored = submission_from_json(submission_to_json(original))
+        np.testing.assert_allclose(
+            restored.streams["p"].times, original.streams["p"].times
+        )
+        np.testing.assert_allclose(
+            restored.streams["p"].values, original.streams["p"].values
+        )
+        assert restored.streams["p"].rater_ids == original.streams["p"].rater_ids
+
+
+class TestOnlineBatchEquivalence:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=89.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40)
+    def test_epoch_scores_equal_batch_scores(self, pairs):
+        ratings = [
+            Rating(time=t, rater_id=f"u{i}", product_id="p", value=v)
+            for i, (t, v) in enumerate(pairs)
+        ]
+        system = OnlineRatingSystem(SimpleAveragingScheme(), period_days=30.0)
+        system.submit_many(sorted(ratings))
+        while system.current_epoch_start < 90.0:
+            system.close_epoch()
+        batch = SimpleAveragingScheme().monthly_scores(
+            system.dataset(), 30.0, 0.0, 90.0
+        )
+        for index in range(3):
+            online_score = system.reports[index].scores.get("p", float("nan"))
+            batch_score = batch["p"][index]
+            if np.isnan(batch_score):
+                assert np.isnan(online_score)
+            else:
+                assert online_score == batch_score

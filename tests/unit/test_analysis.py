@@ -1,0 +1,276 @@
+"""Unit tests for the analysis modules (bias-variance, time, correlation, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bias_variance import (
+    Region,
+    SubmissionPoint,
+    VarianceBiasAnalysis,
+    classify_region,
+    submission_bias_std,
+)
+from repro.analysis.correlation_exp import CorrelationExperiment, CorrelationRow
+from repro.analysis.reporting import format_histogram, format_series, format_table
+from repro.analysis.time_domain import TimeDomainAnalysis, TimePoint
+from repro.attacks.base import AttackSubmission, build_attack_stream
+from repro.errors import ValidationError
+from repro.marketplace.mp import MPResult
+from repro.types import RatingDataset, RatingStream
+
+
+class TestClassifyRegion:
+    def test_r1_large_bias_small_variance(self):
+        assert classify_region(-3.5, 0.3) is Region.R1
+
+    def test_r2_medium_bias_small_variance(self):
+        assert classify_region(-1.5, 0.3) is Region.R2
+
+    def test_r3_medium_bias_large_variance(self):
+        assert classify_region(-1.5, 1.0) is Region.R3
+
+    def test_positive_bias_other(self):
+        assert classify_region(0.5, 0.3) is Region.OTHER
+
+    def test_large_bias_large_variance_other(self):
+        assert classify_region(-3.5, 1.5) is Region.OTHER
+
+    def test_custom_splits(self):
+        assert classify_region(-2.0, 0.3, bias_split=-1.5) is Region.R1
+
+
+def mp_result(per_product, name="SA"):
+    deltas = {pid: np.array([v]) for pid, v in per_product.items()}
+    return MPResult(
+        scheme_name=name,
+        deltas=deltas,
+        per_product=dict(per_product),
+        total=float(sum(per_product.values())),
+    )
+
+
+def make_submission(sid, bias, std, fair_mean=4.0, n=20, product="p", duration=30.0):
+    rng = np.random.default_rng(hash(sid) % 2**31)
+    values = np.clip(fair_mean + bias + std * rng.standard_normal(n), 0, 5)
+    # re-standardize to hit moments closely
+    if n > 1 and std > 0:
+        values = (values - values.mean()) / max(values.std(), 1e-9) * std
+        values = np.clip(values + fair_mean + bias, 0, 5)
+    times = np.linspace(1.0, 1.0 + duration, n)
+    stream = build_attack_stream(product, times, values, [f"a{i}" for i in range(n)])
+    return AttackSubmission(sid, {product: stream})
+
+
+def fair_dataset(product="p", mean=4.0):
+    times = np.linspace(0.0, 80.0, 200)
+    values = np.full(200, mean)
+    return RatingDataset(
+        [RatingStream(product, times, values, [f"u{i}" for i in range(200)])]
+    )
+
+
+class TestSubmissionBiasStd:
+    def test_computed_against_fair_mean(self):
+        submission = make_submission("s", bias=-2.0, std=0.0)
+        bias, std = submission_bias_std(submission, fair_dataset(), "p")
+        assert bias == pytest.approx(-2.0, abs=0.05)
+        assert std == pytest.approx(0.0, abs=0.05)
+
+    def test_none_for_unattacked_product(self):
+        submission = make_submission("s", -1.0, 0.5)
+        assert submission_bias_std(submission, fair_dataset("q", 4.0), "q") is None
+
+
+class TestVarianceBiasAnalysis:
+    def build(self, n=25):
+        submissions = []
+        results = {}
+        rng = np.random.default_rng(0)
+        for i in range(n):
+            bias = float(rng.uniform(-4.0, 0.0))
+            std = float(rng.uniform(0.0, 1.2))
+            sid = f"s{i}"
+            submissions.append(make_submission(sid, bias, std))
+            # MP correlated with |bias| so winners are the large-bias ones.
+            results[sid] = mp_result({"p": abs(bias) + 0.01 * i})
+        return submissions, results
+
+    def test_points_built_with_marks(self):
+        submissions, results = self.build()
+        analysis = VarianceBiasAnalysis(top_n=5)
+        points = analysis.build_points(submissions, results, fair_dataset(), "p")
+        assert len(points) == 25
+        amp = [p for p in points if "AMP" in p.marks]
+        lmp = [p for p in points if "LMP" in p.marks]
+        assert len(amp) == 5
+        assert len(lmp) == 5
+
+    def test_winners_follow_mp(self):
+        submissions, results = self.build()
+        analysis = VarianceBiasAnalysis(top_n=5)
+        points = analysis.build_points(submissions, results, fair_dataset(), "p")
+        winners = {p.submission_id for p in points if "LMP" in p.marks}
+        expected = {
+            s.submission_id
+            for s in sorted(submissions, key=lambda s: -results[s.submission_id].total)[:5]
+        }
+        assert winners == expected
+
+    def test_color_legend(self):
+        point = SubmissionPoint("s", "x", -1.0, 0.5, 1.0, 1.0, marks={"AMP", "LMP"})
+        assert point.color == "red"
+        point.marks = {"AMP", "UMP"}
+        assert point.color == "blue"
+        point.marks = {"AMP"}
+        assert point.color == "green"
+        point.marks = {"LMP"}
+        assert point.color == "pink"
+        point.marks = {"UMP"}
+        assert point.color == "cyan"
+        point.marks = set()
+        assert point.color == "grey"
+
+    def test_missing_result_rejected(self):
+        submissions, results = self.build(3)
+        del results["s0"]
+        with pytest.raises(ValidationError):
+            VarianceBiasAnalysis().build_points(
+                submissions, results, fair_dataset(), "p"
+            )
+
+    def test_region_counts_and_dominant(self):
+        submissions, results = self.build()
+        analysis = VarianceBiasAnalysis(top_n=8)
+        points = analysis.build_points(submissions, results, fair_dataset(), "p")
+        counts = analysis.winner_region_counts(points)
+        assert sum(counts.values()) == 8
+        assert analysis.dominant_winner_region(points) is not None
+
+    def test_mean_winner_point(self):
+        submissions, results = self.build()
+        analysis = VarianceBiasAnalysis(top_n=5)
+        points = analysis.build_points(submissions, results, fair_dataset(), "p")
+        centroid = analysis.mean_winner_point(points)
+        assert centroid is not None
+        assert -4.0 <= centroid[0] <= 0.0
+
+
+class TestTimeDomainAnalysis:
+    def build_points(self):
+        # MP peaks at interval 3 days.
+        points = []
+        for i, interval in enumerate(np.linspace(0.5, 10.0, 30)):
+            mp = float(np.exp(-((interval - 3.0) ** 2) / 2.0))
+            points.append(TimePoint(f"s{i}", "x", float(interval), mp))
+        return points
+
+    def test_envelope_and_best_interval(self):
+        analysis = TimeDomainAnalysis(n_bins=10, max_interval=10.0)
+        best = analysis.best_interval(self.build_points())
+        assert best == pytest.approx(3.0, abs=1.0)
+
+    def test_interior_optimum_detected(self):
+        analysis = TimeDomainAnalysis(n_bins=10, max_interval=10.0)
+        assert analysis.is_interior_optimum(self.build_points())
+
+    def test_monotone_curve_not_interior(self):
+        points = [
+            TimePoint(f"s{i}", "x", float(i + 0.5), float(10 - i)) for i in range(10)
+        ]
+        analysis = TimeDomainAnalysis(n_bins=5, max_interval=10.0)
+        assert not analysis.is_interior_optimum(points)
+
+    def test_build_points_from_submissions(self):
+        submission = make_submission("s0", -2.0, 0.5, duration=30.0, n=16)
+        results = {"s0": mp_result({"p": 1.0})}
+        analysis = TimeDomainAnalysis()
+        points = analysis.build_points([submission], results, "p")
+        assert len(points) == 1
+        assert points[0].average_interval == pytest.approx(30.0 / 16)
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValidationError):
+            TimeDomainAnalysis().binned_envelope([])
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValidationError):
+            TimeDomainAnalysis(n_bins=1)
+
+
+class TestCorrelationRow:
+    def test_random_mean_and_wins(self):
+        row = CorrelationRow("s", 1.0, 1.2, (0.9, 1.1))
+        assert row.random_mean == pytest.approx(1.0)
+        assert row.heuristic_wins
+
+    def test_loss(self):
+        row = CorrelationRow("s", 1.0, 0.8, (0.9,))
+        assert not row.heuristic_wins
+
+
+class TestCorrelationExperimentHelpers:
+    def test_select_top(self):
+        submissions = [make_submission(f"s{i}", -1.0, 0.2) for i in range(5)]
+        results = {f"s{i}": mp_result({"p": float(i)}) for i in range(5)}
+        experiment = CorrelationExperiment(top_n=2)
+        top = experiment.select_top(submissions, results)
+        assert [s.submission_id for s in top] == ["s4", "s3"]
+
+    def test_win_fraction(self):
+        rows = [
+            CorrelationRow("a", 1.0, 1.5, (1.0,)),
+            CorrelationRow("b", 1.0, 0.5, (1.0,)),
+        ]
+        assert CorrelationExperiment.heuristic_win_fraction(rows) == 0.5
+
+    def test_win_fraction_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            CorrelationExperiment.heuristic_win_fraction([])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            CorrelationExperiment(top_n=0)
+        with pytest.raises(ValidationError):
+            CorrelationExperiment(random_shuffles=0)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long_header"], [[1, 2.5], [10, 0.123456]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "long_header" in lines[0]
+        assert "0.123" in lines[3]
+
+    def test_format_table_nan_dash(self):
+        text = format_table(["x"], [[float("nan")]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_format_table_bool(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_format_table_row_length_checked(self):
+        with pytest.raises(ValidationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_series(self):
+        text = format_series("curve", [1.0, 2.0], [0.1, 0.2])
+        assert "curve" in text
+        assert text.count("\n") == 4
+
+    def test_format_series_mismatch(self):
+        with pytest.raises(ValidationError):
+            format_series("c", [1.0], [0.1, 0.2])
+
+    def test_format_histogram(self):
+        text = format_histogram("h", ["a", "bb"], [2, 4], width=8)
+        assert "####" in text
+
+    def test_format_histogram_mismatch(self):
+        with pytest.raises(ValidationError):
+            format_histogram("h", ["a"], [1, 2])
+
+    def test_format_histogram_all_zero(self):
+        text = format_histogram("h", ["a"], [0])
+        assert "0" in text

@@ -1,0 +1,222 @@
+"""Unit tests for the advanced (trust-layer) attack strategies."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.advanced import camouflage_attack, split_burst_attack
+from repro.attacks.base import ProductTarget
+from repro.errors import AttackSpecError
+from repro.marketplace.challenge import RatingChallenge
+
+
+@pytest.fixture(scope="module")
+def challenge():
+    return RatingChallenge(seed=55)
+
+
+def targets():
+    return [
+        ProductTarget("tv1", -1),
+        ProductTarget("tv2", -1),
+        ProductTarget("tv3", +1),
+        ProductTarget("tv4", +1),
+    ]
+
+
+class TestCamouflageAttack:
+    def test_structure(self, challenge):
+        submission = camouflage_attack(
+            challenge.fair_dataset, targets(),
+            challenge.config.biased_rater_ids(), seed=0,
+        )
+        assert submission.strategy == "camouflage"
+        assert set(submission.product_ids) == {"tv1", "tv2", "tv3", "tv4"}
+
+    def test_passes_challenge_rules(self, challenge):
+        submission = camouflage_attack(
+            challenge.fair_dataset, targets(),
+            challenge.config.biased_rater_ids(), seed=1,
+        )
+        challenge.validate(submission)
+
+    def test_two_phases_present(self, challenge):
+        submission = camouflage_attack(
+            challenge.fair_dataset, targets(),
+            challenge.config.biased_rater_ids(),
+            camouflage_end=30.0, strike_start=45.0, seed=2,
+        )
+        for stream in submission.streams.values():
+            early = stream.between(0.0, 30.0)
+            late = stream.between(45.0, 80.0)
+            assert len(early) > 0, "camouflage phase missing"
+            assert len(late) > 0, "strike phase missing"
+            # Early ratings look fair; late ratings are shifted.
+            fair_mean = challenge.fair_dataset[stream.product_id].mean_value()
+            assert abs(early.values.mean() - fair_mean) < 0.5
+
+    def test_each_rater_once_per_product(self, challenge):
+        submission = camouflage_attack(
+            challenge.fair_dataset, targets(),
+            challenge.config.biased_rater_ids(), seed=3,
+        )
+        for stream in submission.streams.values():
+            assert len(set(stream.rater_ids)) == len(stream)
+
+    def test_requires_two_targets(self, challenge):
+        with pytest.raises(AttackSpecError):
+            camouflage_attack(
+                challenge.fair_dataset, targets()[:1],
+                challenge.config.biased_rater_ids(),
+            )
+
+    def test_phase_order_enforced(self, challenge):
+        with pytest.raises(AttackSpecError):
+            camouflage_attack(
+                challenge.fair_dataset, targets(),
+                challenge.config.biased_rater_ids(),
+                camouflage_end=50.0, strike_start=40.0,
+            )
+
+    def test_requires_raters(self, challenge):
+        with pytest.raises(AttackSpecError):
+            camouflage_attack(challenge.fair_dataset, targets(), ["only_one"])
+
+
+class TestSplitBurstAttack:
+    def test_structure_and_rules(self, challenge):
+        submission = split_burst_attack(
+            challenge.fair_dataset, targets(),
+            challenge.config.biased_rater_ids(), seed=0,
+        )
+        assert submission.strategy == "split_burst"
+        challenge.validate(submission)
+
+    def test_burst_count_and_spacing(self, challenge):
+        submission = split_burst_attack(
+            challenge.fair_dataset, targets()[:1],
+            challenge.config.biased_rater_ids(),
+            n_bursts=3, burst_width=2.0, first_burst=10.0, burst_spacing=20.0,
+            seed=1,
+        )
+        times = submission.streams["tv1"].times
+        # Ratings fall only inside the three burst windows.
+        in_bursts = np.zeros(times.size, dtype=bool)
+        for k in range(3):
+            start = 10.0 + 20.0 * k
+            in_bursts |= (times >= start) & (times <= start + 2.0)
+        assert in_bursts.all()
+        # All three bursts are populated.
+        for k in range(3):
+            start = 10.0 + 20.0 * k
+            assert ((times >= start) & (times <= start + 2.0)).sum() > 0
+
+    def test_value_direction(self, challenge):
+        submission = split_burst_attack(
+            challenge.fair_dataset,
+            [ProductTarget("tv1", -1), ProductTarget("tv3", +1)],
+            challenge.config.biased_rater_ids(), bias_magnitude=3.0, seed=2,
+        )
+        fair = challenge.fair_dataset
+        assert submission.streams["tv1"].values.mean() < fair["tv1"].mean_value()
+        assert submission.streams["tv3"].values.mean() > fair["tv3"].mean_value()
+
+    def test_invalid_params(self, challenge):
+        with pytest.raises(AttackSpecError):
+            split_burst_attack(
+                challenge.fair_dataset, [], challenge.config.biased_rater_ids()
+            )
+        with pytest.raises(AttackSpecError):
+            split_burst_attack(
+                challenge.fair_dataset, targets()[:1],
+                challenge.config.biased_rater_ids(), n_bursts=0,
+            )
+        with pytest.raises(AttackSpecError):
+            split_burst_attack(
+                challenge.fair_dataset, targets()[:1], ["a", "b"], n_bursts=5,
+            )
+
+
+class TestAdvancedAttacksAgainstPScheme:
+    def test_camouflage_raises_attacker_trust_before_strike(self, challenge):
+        """The whole point of camouflage: attacker trust exceeds the
+        neutral 0.5 entering the strike phase."""
+        from repro.aggregation.pscheme import PScheme
+        from repro.trust.manager import TrustManager
+
+        submission = camouflage_attack(
+            challenge.fair_dataset, targets(),
+            challenge.config.biased_rater_ids(),
+            camouflage_end=28.0, strike_start=45.0, seed=4,
+        )
+        attacked = challenge.attacked_dataset(submission)
+        scheme = PScheme()
+        marks = scheme.detect(attacked)
+        manager = TrustManager()
+        snapshots = manager.run(attacked, marks, epoch_times=[30.0, 60.0, 90.0])
+        attacker_ids = submission.rater_ids()
+        # After the camouflage month, attackers look trustworthy.
+        month1 = np.mean([snapshots[0].value(r) for r in attacker_ids])
+        assert month1 > 0.5
+
+
+class TestSybilFlood:
+    def test_structure(self, challenge):
+        from repro.attacks.advanced import sybil_flood
+
+        submission = sybil_flood(
+            challenge.fair_dataset, targets()[:2], n_identities=100, seed=0
+        )
+        assert submission.strategy == "sybil_flood"
+        assert submission.total_ratings() == 200
+        # Every identity is fresh and unique.
+        assert len(submission.rater_ids()) == 200
+
+    def test_violates_challenge_rules_by_design(self, challenge):
+        from repro.attacks.advanced import sybil_flood
+        from repro.errors import ChallengeRuleError
+
+        submission = sybil_flood(
+            challenge.fair_dataset, targets()[:2], n_identities=60, seed=1
+        )
+        with pytest.raises(ChallengeRuleError):
+            challenge.validate(submission)
+
+    def test_pscheme_structurally_resistant(self, challenge):
+        """Fresh identities carry neutral trust and zero Eq. 7 weight, so
+        even a flood twice the fair volume barely moves the P-scheme."""
+        from repro.aggregation import PScheme, SimpleAveragingScheme
+        from repro.attacks.advanced import sybil_flood
+        from repro.marketplace.mp import manipulation_power
+
+        submission = sybil_flood(
+            challenge.fair_dataset,
+            [ProductTarget("tv1", -1)],
+            n_identities=400,
+            bias_magnitude=3.0,
+            std=0.3,
+            seed=2,
+        )
+        attacked = challenge.fair_dataset.merge(submission.as_dict())
+        mp_sa = manipulation_power(
+            SimpleAveragingScheme(), attacked, challenge.fair_dataset,
+            start_day=challenge.start_day, end_day=challenge.end_day,
+        ).total
+        mp_p = manipulation_power(
+            PScheme(), attacked, challenge.fair_dataset,
+            start_day=challenge.start_day, end_day=challenge.end_day,
+        ).total
+        assert mp_sa > 1.0
+        assert mp_p < 0.3 * mp_sa
+
+    def test_invalid_params(self, challenge):
+        from repro.attacks.advanced import sybil_flood
+        from repro.errors import AttackSpecError
+
+        with pytest.raises(AttackSpecError):
+            sybil_flood(challenge.fair_dataset, [], n_identities=10)
+        with pytest.raises(AttackSpecError):
+            sybil_flood(challenge.fair_dataset, targets()[:1], n_identities=0)
+        with pytest.raises(AttackSpecError):
+            sybil_flood(
+                challenge.fair_dataset, targets()[:1], duration=0.0
+            )

@@ -1,0 +1,269 @@
+"""Unit tests for AttackSubmission, AttackGenerator, strategies, population."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackSubmission, ProductTarget, build_attack_stream
+from repro.attacks.generator import AttackGenerator, AttackSpec
+from repro.attacks.population import PopulationConfig, generate_population
+from repro.attacks.strategies import (
+    bad_mouthing,
+    ballot_stuffing,
+    probabilistic_lying,
+    random_unfair,
+)
+from repro.attacks.time_models import UniformWindow
+from repro.errors import AttackSpecError, ValidationError
+from repro.marketplace.challenge import RatingChallenge
+from repro.types import RatingStream
+
+
+@pytest.fixture(scope="module")
+def challenge():
+    return RatingChallenge(seed=101)
+
+
+@pytest.fixture(scope="module")
+def generator(challenge):
+    return AttackGenerator(
+        challenge.fair_dataset, challenge.config.biased_rater_ids(), seed=5
+    )
+
+
+def targets():
+    return [ProductTarget("tv1", -1), ProductTarget("tv3", +1)]
+
+
+class TestProductTarget:
+    def test_valid_directions(self):
+        assert ProductTarget("p", 1).direction == 1
+        assert ProductTarget("p", -1).direction == -1
+
+    def test_invalid_direction(self):
+        with pytest.raises(AttackSpecError):
+            ProductTarget("p", 0)
+
+
+class TestAttackSubmission:
+    def test_streams_must_be_unfair(self):
+        clean = RatingStream("p", [1.0], [4.0], ["a"])
+        with pytest.raises(AttackSpecError):
+            AttackSubmission("s", {"p": clean})
+
+    def test_key_product_mismatch_rejected(self):
+        stream = build_attack_stream("p", [1.0], [4.0], ["a"])
+        with pytest.raises(AttackSpecError):
+            AttackSubmission("s", {"q": stream})
+
+    def test_metrics(self):
+        stream = build_attack_stream("p", [10.0, 20.0, 40.0], [1, 1, 1], list("abc"))
+        submission = AttackSubmission("s", {"p": stream})
+        assert submission.total_ratings() == 3
+        assert submission.attack_duration("p") == 30.0
+        assert submission.average_rating_interval("p") == 10.0
+        assert submission.rater_ids() == ("a", "b", "c")
+
+    def test_empty_stream_metrics(self):
+        stream = build_attack_stream("p", [], [], [])
+        submission = AttackSubmission("s", {"p": stream})
+        assert submission.attack_duration("p") == 0.0
+        assert submission.average_rating_interval("p") == 0.0
+
+    def test_stream_for_missing_product(self):
+        stream = build_attack_stream("p", [1.0], [1.0], ["a"])
+        submission = AttackSubmission("s", {"p": stream})
+        assert submission.stream_for("q") is None
+
+
+class TestAttackSpec:
+    def test_defaults(self):
+        spec = AttackSpec(bias_magnitude=2.0, std=0.5)
+        assert spec.n_ratings == 50
+        assert spec.correlation == "identity"
+
+    def test_negative_bias_rejected(self):
+        with pytest.raises(AttackSpecError):
+            AttackSpec(bias_magnitude=-1.0, std=0.5)
+
+    def test_bad_correlation_rejected(self):
+        with pytest.raises(AttackSpecError):
+            AttackSpec(1.0, 0.5, correlation="sneaky")
+
+    def test_zero_ratings_rejected(self):
+        with pytest.raises(AttackSpecError):
+            AttackSpec(1.0, 0.5, n_ratings=0)
+
+
+class TestAttackGenerator:
+    def test_generates_streams_per_target(self, generator):
+        spec = AttackSpec(2.0, 0.5, n_ratings=20, time_model=UniformWindow(10, 30))
+        submission = generator.generate(targets(), spec)
+        assert set(submission.product_ids) == {"tv1", "tv3"}
+        assert submission.total_ratings() == 40
+
+    def test_direction_sign_applied(self, generator, challenge):
+        spec = AttackSpec(2.0, 0.1, n_ratings=30, time_model=UniformWindow(10, 30))
+        submission = generator.generate(targets(), spec)
+        fair = challenge.fair_dataset
+        down = submission.streams["tv1"].values.mean() - fair["tv1"].mean_value()
+        up = submission.streams["tv3"].values.mean() - fair["tv3"].mean_value()
+        assert down < -1.0
+        assert up > 0.3  # clipped at 5.0, so less than the nominal +2
+
+    def test_unknown_product_rejected(self, generator):
+        spec = AttackSpec(1.0, 0.5)
+        with pytest.raises(AttackSpecError):
+            generator.generate([ProductTarget("ghost", -1)], spec)
+
+    def test_duplicate_target_rejected(self, generator):
+        spec = AttackSpec(1.0, 0.5)
+        with pytest.raises(AttackSpecError):
+            generator.generate(
+                [ProductTarget("tv1", -1), ProductTarget("tv1", 1)], spec
+            )
+
+    def test_too_many_ratings_rejected(self, generator):
+        spec = AttackSpec(1.0, 0.5, n_ratings=51)
+        with pytest.raises(AttackSpecError):
+            generator.generate(targets(), spec)
+
+    def test_empty_targets_rejected(self, generator):
+        with pytest.raises(AttackSpecError):
+            generator.generate([], AttackSpec(1.0, 0.5))
+
+    def test_raters_unique_within_product(self, generator):
+        spec = AttackSpec(1.0, 0.5, n_ratings=50, time_model=UniformWindow(5, 40))
+        submission = generator.generate(targets(), spec)
+        for stream in submission.streams.values():
+            assert len(set(stream.rater_ids)) == len(stream)
+
+    def test_submission_passes_challenge_validation(self, generator, challenge):
+        spec = AttackSpec(2.5, 0.8, n_ratings=50, time_model=UniformWindow(5, 60))
+        submission = generator.generate(
+            targets() + [ProductTarget("tv5", -1), ProductTarget("tv7", 1)], spec
+        )
+        challenge.validate(submission)
+
+    def test_per_target_spec_override(self, generator):
+        base = AttackSpec(1.0, 0.2, n_ratings=10, time_model=UniformWindow(5, 10))
+        override = AttackSpec(3.0, 0.2, n_ratings=25, time_model=UniformWindow(40, 10))
+        submission = generator.generate(
+            targets(), base, per_target_specs={"tv1": override}
+        )
+        assert len(submission.streams["tv1"]) == 25
+        assert len(submission.streams["tv3"]) == 10
+
+    def test_heuristic_correlation_mode(self, generator):
+        spec = AttackSpec(
+            2.0, 1.0, n_ratings=15, time_model=UniformWindow(10, 30),
+            correlation="heuristic",
+        )
+        submission = generator.generate(targets(), spec)
+        assert submission.total_ratings() == 30
+
+    def test_evaluator_closure(self, generator, challenge):
+        from repro.aggregation import SimpleAveragingScheme
+
+        evaluate = generator.evaluator(
+            targets(), challenge, SimpleAveragingScheme(),
+            AttackSpec(1.0, 0.5, n_ratings=30, time_model=UniformWindow(10, 40)),
+        )
+        mp = evaluate(-3.0, 0.2)
+        assert mp > 0.0
+
+
+class TestStrategies:
+    def test_ballot_stuffing_extremes(self, challenge):
+        submission = ballot_stuffing(
+            challenge.fair_dataset, targets(),
+            challenge.config.biased_rater_ids(), n_ratings=10, seed=0,
+        )
+        np.testing.assert_allclose(submission.streams["tv3"].values, 5.0)
+        np.testing.assert_allclose(submission.streams["tv1"].values, 0.0)
+
+    def test_bad_mouthing_all_minimum(self, challenge):
+        submission = bad_mouthing(
+            challenge.fair_dataset, targets(),
+            challenge.config.biased_rater_ids(), n_ratings=10, seed=0,
+        )
+        for stream in submission.streams.values():
+            np.testing.assert_allclose(stream.values, 0.0)
+
+    def test_random_unfair_on_scale(self, challenge):
+        submission = random_unfair(
+            challenge.fair_dataset, targets(),
+            challenge.config.biased_rater_ids(), n_ratings=30, seed=1,
+        )
+        values = submission.streams["tv1"].values
+        assert values.min() >= 0.0 and values.max() <= 5.0
+        assert values.std() > 0.5
+
+    def test_probabilistic_lying_mixture(self, challenge):
+        submission = probabilistic_lying(
+            challenge.fair_dataset, targets(),
+            challenge.config.biased_rater_ids(), lie_probability=0.5,
+            n_ratings=50, seed=2,
+        )
+        values = submission.streams["tv1"].values
+        lies = (values == 0.0).sum()
+        assert 10 <= lies <= 40
+
+    def test_lie_probability_validated(self, challenge):
+        with pytest.raises(Exception):
+            probabilistic_lying(
+                challenge.fair_dataset, targets(),
+                challenge.config.biased_rater_ids(), lie_probability=1.5,
+            )
+
+    def test_strategy_names(self, challenge):
+        submission = bad_mouthing(
+            challenge.fair_dataset, targets(),
+            challenge.config.biased_rater_ids(), n_ratings=5, seed=0,
+        )
+        assert submission.strategy == "bad_mouthing"
+
+
+class TestPopulation:
+    def test_config_counts_sum_to_size(self):
+        config = PopulationConfig(size=97)
+        assert sum(c for _, c in config.archetype_counts()) == 97
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValidationError):
+            PopulationConfig(straightforward_fraction=0.9)
+
+    def test_population_valid_and_sized(self, challenge):
+        submissions = generate_population(
+            challenge, PopulationConfig(size=20), seed=3
+        )
+        assert len(submissions) == 20
+        for submission in submissions:
+            challenge.validate(submission)
+
+    def test_population_has_archetype_mix(self, challenge):
+        submissions = generate_population(
+            challenge, PopulationConfig(size=40), seed=4
+        )
+        strategies = {s.strategy for s in submissions}
+        assert "straightforward" in strategies
+        assert "smart" in strategies
+
+    def test_population_deterministic(self, challenge):
+        a = generate_population(challenge, PopulationConfig(size=10), seed=5)
+        b = generate_population(challenge, PopulationConfig(size=10), seed=5)
+        for sa, sb in zip(a, b):
+            assert sa.submission_id == sb.submission_id
+            for pid in sa.product_ids:
+                np.testing.assert_array_equal(
+                    sa.streams[pid].values, sb.streams[pid].values
+                )
+
+    def test_each_submission_attacks_four_products(self, challenge):
+        submissions = generate_population(
+            challenge, PopulationConfig(size=10), seed=6
+        )
+        for submission in submissions:
+            assert len(submission.product_ids) == 4
+            directions = list(submission.params["targets"].values())
+            assert directions.count(1) == 2
+            assert directions.count(-1) == 2

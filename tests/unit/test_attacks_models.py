@@ -1,0 +1,183 @@
+"""Unit tests for attack value models, time models, and correlation mappers."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.correlation import (
+    heuristic_correlation_match,
+    identity_match,
+    random_match,
+)
+from repro.attacks.time_models import (
+    ConcentratedBurst,
+    EvenlySpaced,
+    PoissonTimes,
+    UniformWindow,
+    sample_times,
+)
+from repro.attacks.value_models import ValueSetSpec, generate_value_set
+from repro.errors import AttackSpecError
+from repro.types import RatingScale, RatingStream
+
+
+class TestValueSetSpec:
+    def test_target_mean(self):
+        assert ValueSetSpec(bias=-2.0, std=0.5).target_mean(4.0) == 2.0
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(AttackSpecError):
+            ValueSetSpec(bias=0.0, std=-0.1)
+
+
+class TestGenerateValueSet:
+    def test_exact_moments_when_unclipped(self):
+        spec = ValueSetSpec(bias=-1.5, std=0.4)
+        values = generate_value_set(50, 4.0, spec, seed=0)
+        assert values.mean() == pytest.approx(2.5, abs=1e-9)
+        assert values.std() == pytest.approx(0.4, abs=1e-9)
+
+    def test_values_clipped_to_scale(self):
+        spec = ValueSetSpec(bias=-4.0, std=1.0)
+        values = generate_value_set(50, 4.0, spec, seed=1)
+        assert values.min() >= 0.0
+        assert values.max() <= 5.0
+
+    def test_zero_std_constant(self):
+        values = generate_value_set(10, 4.0, ValueSetSpec(-2.0, 0.0), seed=2)
+        np.testing.assert_allclose(values, 2.0)
+
+    def test_single_value(self):
+        values = generate_value_set(1, 4.0, ValueSetSpec(1.0, 0.5), seed=3)
+        assert values.shape == (1,)
+        assert values[0] == pytest.approx(5.0)
+
+    def test_quantisation(self):
+        values = generate_value_set(
+            30, 4.0, ValueSetSpec(-1.0, 0.7), seed=4, value_step=0.5
+        )
+        np.testing.assert_allclose(np.mod(values * 2.0, 1.0), 0.0, atol=1e-9)
+
+    def test_invalid_count(self):
+        with pytest.raises(AttackSpecError):
+            generate_value_set(0, 4.0, ValueSetSpec(0.0, 1.0))
+
+    def test_invalid_step(self):
+        with pytest.raises(AttackSpecError):
+            generate_value_set(5, 4.0, ValueSetSpec(0.0, 1.0), value_step=0.0)
+
+    def test_custom_scale(self):
+        scale = RatingScale(1.0, 10.0)
+        values = generate_value_set(
+            40, 7.0, ValueSetSpec(-8.0, 0.5), scale=scale, seed=5
+        )
+        assert values.min() >= 1.0
+
+    def test_deterministic(self):
+        a = generate_value_set(20, 4.0, ValueSetSpec(-1.0, 0.5), seed=9)
+        b = generate_value_set(20, 4.0, ValueSetSpec(-1.0, 0.5), seed=9)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestTimeModels:
+    def test_uniform_window_bounds(self):
+        times = sample_times(UniformWindow(10.0, 20.0), 100, seed=0)
+        assert times.min() >= 10.0
+        assert times.max() <= 30.0
+        assert np.all(np.diff(times) >= 0)
+
+    def test_uniform_invalid_duration(self):
+        with pytest.raises(AttackSpecError):
+            UniformWindow(0.0, 0.0)
+
+    def test_burst_width(self):
+        times = sample_times(ConcentratedBurst(40.0, width=1.0), 50, seed=1)
+        assert times.max() - times.min() <= 1.0
+        assert abs(times.mean() - 40.0) < 1.0
+
+    def test_evenly_spaced_interval(self):
+        times = sample_times(EvenlySpaced(5.0, 2.0), 10, seed=2)
+        np.testing.assert_allclose(np.diff(times), 2.0)
+        assert times[0] == 5.0
+
+    def test_evenly_spaced_jitter_bounded(self):
+        model = EvenlySpaced(0.0, 4.0, jitter=0.5)
+        times = sample_times(model, 50, seed=3)
+        gaps = np.diff(times)
+        assert np.all(gaps > 0.0)
+        assert abs(gaps.mean() - 4.0) < 0.5
+
+    def test_evenly_spaced_invalid_jitter(self):
+        with pytest.raises(AttackSpecError):
+            EvenlySpaced(0.0, 1.0, jitter=1.0)
+
+    def test_poisson_rate(self):
+        times = sample_times(PoissonTimes(0.0, rate=2.0), 400, seed=4)
+        mean_gap = np.diff(times).mean()
+        assert mean_gap == pytest.approx(0.5, rel=0.2)
+
+    def test_poisson_invalid_rate(self):
+        with pytest.raises(AttackSpecError):
+            PoissonTimes(0.0, rate=0.0)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(AttackSpecError):
+            sample_times(UniformWindow(0.0, 1.0), 0)
+
+
+def fair_reference():
+    times = np.array([0.0, 10.0, 20.0, 30.0])
+    values = np.array([5.0, 1.0, 5.0, 1.0])
+    return RatingStream("p", times, values, ["a", "b", "c", "d"])
+
+
+class TestCorrelationMappers:
+    def test_identity_keeps_value_order(self):
+        times = np.array([3.0, 1.0, 2.0])
+        values = np.array([10.0, 20.0, 30.0])
+        out_t, out_v = identity_match(times, values)
+        np.testing.assert_array_equal(out_t, [1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(out_v, [10.0, 20.0, 30.0])
+
+    def test_random_is_permutation(self):
+        times = np.arange(10, dtype=float)
+        values = np.arange(10, dtype=float) * 0.5
+        _t, shuffled = random_match(times, values, seed=0)
+        assert sorted(shuffled) == sorted(values)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(AttackSpecError):
+            identity_match(np.arange(3.0), np.arange(4.0))
+
+    def test_heuristic_anti_correlates(self):
+        # Attack at t=11 (NearV = 1.0) and t=21 (NearV = 5.0), with values
+        # {0.0, 4.9}: Procedure 3 gives the far-from-1.0 value (4.9) to
+        # t=11 and the far-from-5.0 value (0.0) to t=21.
+        times = np.array([11.0, 21.0])
+        values = np.array([0.0, 4.9])
+        out_t, out_v = heuristic_correlation_match(times, values, fair_reference())
+        np.testing.assert_array_equal(out_t, [11.0, 21.0])
+        np.testing.assert_array_equal(out_v, [4.9, 0.0])
+
+    def test_heuristic_preserves_value_multiset(self):
+        rng = np.random.default_rng(5)
+        times = np.sort(rng.uniform(0.0, 30.0, 20))
+        values = rng.uniform(0.0, 5.0, 20)
+        _t, matched = heuristic_correlation_match(times, values, fair_reference())
+        np.testing.assert_allclose(sorted(matched), sorted(values))
+
+    def test_heuristic_before_first_fair_rating_uses_default(self):
+        times = np.array([-5.0])
+        values = np.array([2.0])
+        out_t, out_v = heuristic_correlation_match(
+            times, values, fair_reference(), default_near_value=3.0
+        )
+        assert out_v[0] == 2.0
+
+    def test_heuristic_empty_fair_stream(self):
+        empty = RatingStream.empty("p")
+        times = np.array([1.0, 2.0])
+        values = np.array([0.0, 5.0])
+        out_t, out_v = heuristic_correlation_match(times, values, empty)
+        # default NearV = 2.5: farthest first -> both distances equal (2.5);
+        # ties resolve deterministically.
+        assert sorted(out_v) == [0.0, 5.0]

@@ -1,0 +1,179 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def small_world(tmp_path_factory):
+    """A small fair world CSV written once for the whole module."""
+    path = tmp_path_factory.mktemp("cli") / "world.csv"
+    code = main(
+        [
+            "world",
+            "--seed", "3",
+            "--out", str(path),
+            "--duration-days", "60",
+            "--history-days", "20",
+            "--arrivals-per-day", "4",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_target_parsing(self):
+        args = build_parser().parse_args(
+            ["attack", "--world", "w.csv", "--target", "tv1:-1",
+             "--target", "tv3:+1", "--out", "a.json"]
+        )
+        assert [(t.product_id, t.direction) for t in args.targets] == [
+            ("tv1", -1), ("tv3", 1)
+        ]
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["attack", "--world", "w.csv", "--target", "tv1", "--out", "a"]
+            )
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["attack", "--world", "w.csv", "--target", "tv1:2", "--out", "a"]
+            )
+
+
+class TestWorldCommand:
+    def test_writes_csv(self, small_world, capsys):
+        text = small_world.read_text()
+        assert text.startswith("product_id,rater_id,time,value,unfair")
+        assert len(text.splitlines()) > 100
+
+
+class TestAttackAndEvaluate:
+    def test_attack_then_evaluate(self, small_world, tmp_path, capsys):
+        attack_path = tmp_path / "attack.json"
+        code = main(
+            [
+                "attack",
+                "--world", str(small_world),
+                "--target", "tv1:-1",
+                "--target", "tv3:+1",
+                "--bias", "3.0",
+                "--std", "0.2",
+                "--n-ratings", "30",
+                "--window-start", "15",
+                "--window-days", "25",
+                "--out", str(attack_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(attack_path.read_text())
+        assert set(payload["products"]) == {"tv1", "tv3"}
+
+        code = main(
+            [
+                "evaluate",
+                "--world", str(small_world),
+                "--submission", str(attack_path),
+                "--scheme", "SA",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Manipulation Power" in out
+        assert "SA" in out
+
+    def test_missing_world_file(self, tmp_path, capsys):
+        code = main(
+            [
+                "attack",
+                "--world", str(tmp_path / "nope.csv"),
+                "--target", "tv1:-1",
+                "--out", str(tmp_path / "a.json"),
+            ]
+        )
+        assert code == 2
+
+    def test_attack_unknown_product_fails_cleanly(self, small_world, tmp_path):
+        code = main(
+            [
+                "attack",
+                "--world", str(small_world),
+                "--target", "ghost:-1",
+                "--out", str(tmp_path / "a.json"),
+            ]
+        )
+        assert code == 2
+
+
+class TestDetectCommand:
+    def test_detect_on_fair_product(self, small_world, capsys):
+        code = main(["detect", "--world", str(small_world), "--product", "tv1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "suspicious ratings:" in out
+
+    def test_detect_unknown_product(self, small_world, capsys):
+        code = main(["detect", "--world", str(small_world), "--product", "zz"])
+        assert code == 2
+
+
+class TestPopulationCommand:
+    def test_leaderboard_printed(self, capsys):
+        code = main(
+            ["population", "--seed", "5", "--size", "6", "--scheme", "SA",
+             "--top", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "leaderboard" in out
+        assert "rank" in out
+
+
+class TestSearchCommand:
+    def test_search_runs(self, capsys):
+        code = main(
+            ["search", "--seed", "4", "--scheme", "SA", "--probes", "1",
+             "--subareas", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strongest region" in out
+
+
+class TestAblationCommand:
+    def test_ablation_prints_table(self, capsys):
+        code = main(["ablation", "--seed", "2008"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ablation" in out
+        assert "whole-window drip" in out
+
+
+class TestSensitivityCommand:
+    def test_sensitivity_sweep(self, capsys):
+        code = main(
+            ["sensitivity", "--parameter", "larc_peak_threshold",
+             "--value", "2.0", "--value", "8.0", "--fair-worlds", "1",
+             "--attacks", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "larc_peak_threshold" in out
+
+    def test_unknown_parameter_clean_error(self, capsys):
+        code = main(
+            ["sensitivity", "--parameter", "bogus", "--value", "1.0",
+             "--fair-worlds", "1", "--attacks", "1"]
+        )
+        assert code == 2

@@ -1,0 +1,134 @@
+"""Robustness battery: detectors on degenerate and adversarial inputs.
+
+Production rating data is messy -- duplicate timestamps (batch imports),
+unanimous values, single-day products, extreme values, near-empty streams.
+None of these may crash a detector or produce out-of-range statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detectors import (
+    ArrivalRateDetector,
+    HistogramChangeDetector,
+    JointDetector,
+    MeanChangeDetector,
+    ModelErrorDetector,
+)
+from repro.types import RatingStream
+
+ALL_DETECTORS = [
+    MeanChangeDetector(),
+    ArrivalRateDetector("H-ARC"),
+    ArrivalRateDetector("L-ARC"),
+    HistogramChangeDetector(),
+    ModelErrorDetector(),
+    JointDetector(),
+]
+
+
+def run_all(stream):
+    """Run every detector; return the joint report."""
+    for detector in ALL_DETECTORS[:-1]:
+        detector.analyze(stream)
+    return ALL_DETECTORS[-1].analyze(stream)
+
+
+def stream_from(times, values, product="p"):
+    raters = [f"u{i}" for i in range(len(times))]
+    return RatingStream(product, times, values, raters)
+
+
+class TestDegenerateStreams:
+    def test_empty_stream(self):
+        report = run_all(RatingStream.empty("p"))
+        assert report.num_suspicious == 0
+
+    def test_single_rating(self):
+        report = run_all(stream_from([1.0], [4.0]))
+        assert report.num_suspicious == 0
+
+    def test_two_ratings(self):
+        report = run_all(stream_from([1.0, 2.0], [4.0, 1.0]))
+        assert report.num_suspicious == 0
+
+    def test_all_duplicate_timestamps(self):
+        n = 80
+        report = run_all(stream_from([10.0] * n, np.linspace(0, 5, n)))
+        assert report.suspicious.shape == (n,)
+
+    def test_unanimous_values(self):
+        n = 120
+        times = np.linspace(0.0, 60.0, n)
+        report = run_all(stream_from(times, np.full(n, 5.0)))
+        # A constant stream has no changes of any kind.
+        assert report.num_suspicious == 0
+
+    def test_single_day_product(self):
+        n = 60
+        times = np.sort(np.random.default_rng(0).uniform(3.0, 4.0, n))
+        values = np.clip(np.random.default_rng(1).normal(4, 0.5, n), 0, 5)
+        report = run_all(stream_from(times, values))
+        assert report.suspicious.shape == (n,)
+
+    def test_extreme_scale_values_only(self):
+        n = 100
+        times = np.linspace(0.0, 50.0, n)
+        values = np.array([0.0, 5.0] * (n // 2))
+        report = run_all(stream_from(times, values))
+        assert report.suspicious.dtype == bool
+
+    def test_negative_times(self):
+        # Histories start before day 0; day-binning must handle it.
+        rng = np.random.default_rng(2)
+        times = np.sort(rng.uniform(-40.0, 40.0, 300))
+        values = np.clip(np.round(rng.normal(4, 0.6, 300) * 2) / 2, 0, 5)
+        report = run_all(stream_from(times, values))
+        assert report.suspicious.shape == (300,)
+
+    def test_very_long_quiet_stream(self):
+        # One rating a week for two years: sparse daily counts.
+        times = np.arange(0.0, 730.0, 7.0)
+        rng = np.random.default_rng(3)
+        values = np.clip(rng.normal(4, 0.5, times.size), 0, 5)
+        report = run_all(stream_from(times, values))
+        assert report.num_suspicious <= times.size
+
+
+class TestStatisticRanges:
+    def test_curves_finite_on_messy_data(self):
+        rng = np.random.default_rng(4)
+        times = np.sort(
+            np.concatenate([rng.uniform(0, 60, 150), np.full(30, 30.0)])
+        )
+        values = np.clip(rng.normal(4, 1.5, 180), 0, 5)
+        stream = stream_from(times, values)
+        report = JointDetector().analyze(stream)
+        for curve in report.curves.values():
+            assert np.all(np.isfinite(curve.values))
+
+    def test_hc_values_bounded(self):
+        rng = np.random.default_rng(5)
+        times = np.sort(rng.uniform(0, 80, 200))
+        values = rng.uniform(0, 5, 200)
+        curve = HistogramChangeDetector().curve(stream_from(times, values))
+        assert np.all(curve.values >= 0.0)
+        assert np.all(curve.values <= 1.0)
+
+    def test_me_values_non_negative(self):
+        rng = np.random.default_rng(6)
+        times = np.sort(rng.uniform(0, 80, 200))
+        values = np.clip(rng.normal(4, 0.5, 200), 0, 5)
+        curve = ModelErrorDetector().curve(stream_from(times, values))
+        assert np.all(curve.values >= 0.0)
+
+
+class TestDeterminism:
+    def test_detection_is_deterministic(self):
+        rng = np.random.default_rng(7)
+        times = np.sort(rng.uniform(0, 80, 250))
+        values = np.clip(np.round(rng.normal(4, 0.7, 250) * 2) / 2, 0, 5)
+        stream = stream_from(times, values)
+        first = JointDetector().analyze(stream)
+        second = JointDetector().analyze(stream)
+        np.testing.assert_array_equal(first.suspicious, second.suspicious)

@@ -1,0 +1,190 @@
+"""Unit tests for experiment result dataclasses and their text renderers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bias_variance import Region, SubmissionPoint
+from repro.analysis.correlation_exp import CorrelationRow
+from repro.analysis.time_domain import TimePoint
+from repro.attacks.optimizer import (
+    RegionSearchResult,
+    SearchArea,
+    SearchRound,
+)
+from repro.experiments.ablations import AblationResult
+from repro.experiments.boosting import BoostingAnalysis
+from repro.experiments.figures import (
+    BiasVarianceFigure,
+    CorrelationFigure,
+    HeadlineComparison,
+    OperatingPoints,
+    RegionSearchFigure,
+    TimeAnalysisFigure,
+)
+from repro.experiments.forgetting import ForgettingStudy
+
+
+def make_point(sid="s0", bias=-2.0, std=0.8, mp=1.0, marks=None):
+    return SubmissionPoint(
+        submission_id=sid, strategy="smart", bias=bias, std=std,
+        product_mp=mp, total_mp=mp, marks=marks or set(),
+    )
+
+
+class TestBiasVarianceFigure:
+    def figure(self):
+        points = (
+            make_point("s0", marks={"AMP", "LMP"}),
+            make_point("s1", bias=-3.5, std=0.1, mp=0.5, marks={"LMP"}),
+            make_point("s2", bias=0.5, mp=0.2),
+        )
+        return BiasVarianceFigure(
+            scheme_name="P",
+            product_id="tv1",
+            points=points,
+            winner_region_counts={
+                Region.R1: 1, Region.R2: 0, Region.R3: 1, Region.OTHER: 0
+            },
+            dominant_region=Region.R3,
+            winner_centroid=(-2.75, 0.45),
+        )
+
+    def test_text_contains_marked_points_and_summary(self):
+        text = self.figure().to_text()
+        assert "s0" in text and "s1" in text
+        assert "s2" not in text  # unmarked points are not listed
+        assert "dominant winner region: R3" in text
+        assert "winner centroid" in text
+
+    def test_max_points_truncation(self):
+        text = self.figure().to_text(max_points=1)
+        assert "s0" in text
+        assert "s1" not in text
+
+
+class TestRegionSearchFigure:
+    def test_beats_population_flag(self):
+        area = SearchArea(-2.5, -2.0, 0.9, 1.1)
+        result = RegionSearchResult(
+            rounds=(
+                SearchRound(
+                    area=SearchArea(-4, 0, 0, 2),
+                    subareas=(area,),
+                    scores=(1.5,),
+                    best_index=0,
+                ),
+            ),
+            final_area=area,
+            best_mp=1.5,
+        )
+        figure = RegionSearchFigure(
+            scheme_name="P", search=result, population_max_mp=1.2
+        )
+        assert figure.beats_population
+        text = figure.to_text()
+        assert "beaten: yes" in text or "beaten: True" in text
+
+    def test_not_beaten(self):
+        area = SearchArea(-2.5, -2.0, 0.9, 1.1)
+        result = RegionSearchResult(rounds=(), final_area=area, best_mp=0.9)
+        figure = RegionSearchFigure(
+            scheme_name="P", search=result, population_max_mp=1.2
+        )
+        assert not figure.beats_population
+
+
+class TestTimeAnalysisFigure:
+    def test_text(self):
+        figure = TimeAnalysisFigure(
+            scheme_name="P",
+            product_id="tv1",
+            points=(TimePoint("s0", "smart", 2.0, 0.5),),
+            bin_centers=np.array([1.0, 3.0]),
+            max_envelope=np.array([0.2, 0.5]),
+            mean_envelope=np.array([0.1, 0.3]),
+            best_interval=3.0,
+            interior_optimum=False,
+        )
+        text = figure.to_text()
+        assert "best interval" in text
+        assert "3.00" in text
+
+
+class TestCorrelationFigure:
+    def test_text(self):
+        figure = CorrelationFigure(
+            scheme_name="P",
+            rows=(CorrelationRow("s0", 1.0, 1.1, (0.9, 1.0)),),
+            heuristic_win_fraction=1.0,
+        )
+        text = figure.to_text()
+        assert "100%" in text
+        assert "s0" in text
+
+
+class TestHeadlineComparison:
+    def test_ratios(self):
+        headline = HeadlineComparison(max_mp={"P": 1.0, "SA": 3.0, "BF": 2.0})
+        assert headline.p_to_sa_ratio == pytest.approx(1.0 / 3.0)
+        assert headline.p_to_bf_ratio == pytest.approx(0.5)
+        assert "P/SA ratio" in headline.to_text()
+
+
+class TestOperatingPoints:
+    def test_text(self):
+        points = OperatingPoints(
+            false_alarm_rate=0.001,
+            attack_rows=(("burst", 1.0, 0.0),),
+        )
+        text = points.to_text()
+        assert "burst" in text
+        assert "0.0010" in text
+
+
+class TestAblationResult:
+    def test_text(self):
+        result = AblationResult(
+            attack_names=("burst",),
+            variant_names=("full", "no-path1"),
+            mp={"full": {"burst": 0.1}, "no-path1": {"burst": 1.0}},
+            sa_mp={"burst": 2.0},
+        )
+        text = result.to_text()
+        assert "no-path1" in text
+        assert "SA (ref)" in text
+
+
+class TestBoostingAnalysis:
+    def test_properties_and_text(self):
+        analysis = BoostingAnalysis(
+            headroom={
+                "SA": [(1.0, 0.2, 0.3), (3.0, 0.25, 0.9)],
+                "P": [(1.0, 0.1, 0.1), (3.0, 0.1, 0.02)],
+            },
+            ump_mp_spread=0.1,
+            lmp_mp_spread=0.4,
+        )
+        assert analysis.boost_weaker_under_sa
+        assert analysis.boost_saturates
+        assert analysis.resolution_ratio == pytest.approx(0.25)
+        assert "headroom" in analysis.to_text()
+
+    def test_nan_resolution_when_no_lmp_spread(self):
+        analysis = BoostingAnalysis(
+            headroom={"SA": [(1.0, 0.1, 0.2)], "P": [(1.0, 0.1, 0.1)]},
+            ump_mp_spread=0.1,
+            lmp_mp_spread=0.0,
+        )
+        assert np.isnan(analysis.resolution_ratio)
+
+
+class TestForgettingStudy:
+    def test_text(self):
+        study = ForgettingStudy(
+            factors=(1.0, 0.5),
+            two_strike_mp=(0.06, 0.08),
+            marked_rater_final_trust=(0.6, 0.75),
+        )
+        text = study.to_text()
+        assert "two-strike MP" in text
+        assert "0.500" in text

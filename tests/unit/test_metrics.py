@@ -1,0 +1,120 @@
+"""Unit tests for the defender-side metrics."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import PScheme, SimpleAveragingScheme
+from repro.detectors import JointDetector
+from repro.errors import EmptyDataError, ValidationError
+from repro.marketplace.metrics import (
+    DetectionQuality,
+    detection_quality,
+    score_fidelity,
+)
+from repro.marketplace.product import Product
+from repro.types import RatingDataset, RatingStream
+
+
+def quality_products():
+    return [Product("a", "A", 4.0), Product("b", "B", 3.0)]
+
+
+def clean_dataset(mean_a=4.0, mean_b=3.0):
+    streams = []
+    for pid, mean in (("a", mean_a), ("b", mean_b)):
+        times = np.linspace(0.0, 89.0, 180)
+        values = np.full(180, mean)
+        streams.append(
+            RatingStream(pid, times, values, [f"{pid}{i}" for i in range(180)])
+        )
+    return RatingDataset(streams)
+
+
+class TestScoreFidelity:
+    def test_perfect_scores(self):
+        fidelity = score_fidelity(
+            SimpleAveragingScheme(), clean_dataset(), quality_products(),
+            start_day=0.0, end_day=90.0,
+        )
+        assert fidelity.rmse == pytest.approx(0.0)
+        assert fidelity.mae == pytest.approx(0.0)
+        assert fidelity.n_scores == 6
+
+    def test_biased_scores_measured(self):
+        fidelity = score_fidelity(
+            SimpleAveragingScheme(), clean_dataset(mean_a=4.5),
+            quality_products(), start_day=0.0, end_day=90.0,
+        )
+        assert fidelity.rmse == pytest.approx(np.sqrt(0.25 / 2))
+        assert fidelity.worst_product == "a"
+        assert fidelity.worst_error == pytest.approx(0.5)
+
+    def test_unknown_product_rejected(self):
+        with pytest.raises(ValidationError):
+            score_fidelity(
+                SimpleAveragingScheme(), clean_dataset(),
+                [Product("a", "A", 4.0)], start_day=0.0, end_day=90.0,
+            )
+
+    def test_no_scores_rejected(self):
+        empty = RatingDataset([RatingStream.empty("a"), RatingStream.empty("b")])
+        with pytest.raises(EmptyDataError):
+            score_fidelity(
+                SimpleAveragingScheme(), empty, quality_products(),
+                start_day=0.0, end_day=90.0,
+            )
+
+
+class TestDetectionQuality:
+    def test_properties(self):
+        quality = DetectionQuality(
+            true_positives=8, false_positives=2,
+            false_negatives=2, true_negatives=88,
+        )
+        assert quality.precision == pytest.approx(0.8)
+        assert quality.recall == pytest.approx(0.8)
+        assert quality.false_alarm_rate == pytest.approx(2.0 / 90.0)
+        assert quality.f1 == pytest.approx(0.8)
+
+    def test_degenerate_cases(self):
+        nothing = DetectionQuality(0, 0, 0, 100)
+        assert nothing.precision == 1.0
+        assert nothing.recall == 1.0
+        assert nothing.false_alarm_rate == 0.0
+
+    def test_pooling_with_explicit_marks(self):
+        dataset = clean_dataset()
+        marks = {
+            "a": np.zeros(180, dtype=bool),
+            "b": np.zeros(180, dtype=bool),
+        }
+        marks["a"][:5] = True
+        quality = detection_quality(None, dataset, marks=marks)
+        assert quality.false_positives == 5
+        assert quality.true_negatives == 355
+
+    def test_misaligned_marks_rejected(self):
+        dataset = clean_dataset()
+        with pytest.raises(ValidationError):
+            detection_quality(
+                None, dataset,
+                marks={"a": np.zeros(3, bool), "b": np.zeros(180, bool)},
+            )
+
+    def test_with_real_detector_and_attack(self):
+        from repro.marketplace import RatingChallenge
+        from repro.attacks import AttackGenerator, AttackSpec, ProductTarget, UniformWindow
+
+        challenge = RatingChallenge(seed=17)
+        generator = AttackGenerator(
+            challenge.fair_dataset, challenge.config.biased_rater_ids(), seed=17
+        )
+        submission = generator.generate(
+            [ProductTarget("tv1", -1)],
+            AttackSpec(3.0, 0.2, 50, UniformWindow(30.0, 20.0)),
+        )
+        attacked = challenge.attacked_dataset(submission)
+        quality = detection_quality(JointDetector(), attacked)
+        assert quality.recall > 0.8
+        assert quality.precision > 0.8
+        assert quality.false_alarm_rate < 0.01

@@ -1,0 +1,152 @@
+"""Unit tests for the Manipulation Power metric."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.simple import SimpleAveragingScheme
+from repro.errors import ValidationError
+from repro.marketplace.mp import (
+    manipulation_power,
+    month_edges,
+    monthly_deltas,
+)
+from repro.types import RatingDataset, RatingStream
+
+
+def fair_world():
+    """Two products, constant value 4.0, two ratings/day for 90 days."""
+    streams = []
+    for pid in ("a", "b"):
+        times = np.repeat(np.arange(90, dtype=float), 2) + 0.25
+        values = np.full(times.size, 4.0)
+        raters = [f"{pid}_u{i}" for i in range(times.size)]
+        streams.append(RatingStream(pid, times, values, raters))
+    return RatingDataset(streams)
+
+
+def attack_stream(pid, month, value=0.0, n=30):
+    """n unfair ratings of `value` placed inside the given 30-day month."""
+    start = 30.0 * month + 5.0
+    times = np.linspace(start, start + 20.0, n)
+    return RatingStream(
+        pid, times, np.full(n, value), [f"atk{i}" for i in range(n)],
+        unfair=np.ones(n, dtype=bool),
+    )
+
+
+class TestMonthEdges:
+    def test_exact_periods(self):
+        np.testing.assert_allclose(month_edges(0.0, 90.0), [0, 30, 60, 90])
+
+    def test_partial_period_extends(self):
+        edges = month_edges(0.0, 82.0)
+        np.testing.assert_allclose(edges, [0, 30, 60, 90])
+
+    def test_short_span_single_period(self):
+        np.testing.assert_allclose(month_edges(0.0, 10.0), [0, 30])
+
+    def test_custom_period(self):
+        np.testing.assert_allclose(month_edges(0.0, 20.0, 10.0), [0, 10, 20])
+
+    def test_invalid_span(self):
+        with pytest.raises(ValidationError):
+            month_edges(10.0, 10.0)
+
+
+class TestMonthlyDeltas:
+    def test_zero_without_attack(self):
+        fair = fair_world()
+        deltas = monthly_deltas(
+            SimpleAveragingScheme(), fair, fair, start_day=0.0, end_day=90.0
+        )
+        for arr in deltas.values():
+            np.testing.assert_allclose(arr, 0.0)
+
+    def test_attack_shifts_only_target_month(self):
+        fair = fair_world()
+        attacked = fair.merge({"a": attack_stream("a", month=1)})
+        deltas = monthly_deltas(
+            SimpleAveragingScheme(), attacked, fair, start_day=0.0, end_day=90.0
+        )
+        assert deltas["a"][0] == pytest.approx(0.0)
+        assert deltas["a"][1] > 0.5
+        assert deltas["a"][2] == pytest.approx(0.0)
+        np.testing.assert_allclose(deltas["b"], 0.0)
+
+    def test_infers_span_from_fair_data(self):
+        fair = fair_world()
+        attacked = fair.merge({"a": attack_stream("a", month=0)})
+        deltas = monthly_deltas(SimpleAveragingScheme(), attacked, fair)
+        assert deltas["a"].size >= 3
+
+
+class TestManipulationPower:
+    def test_top_two_months_counted(self):
+        fair = fair_world()
+        extra = attack_stream("a", 0).merge(attack_stream("a", 1)).merge(
+            attack_stream("a", 2)
+        )
+        attacked = fair.merge({"a": extra})
+        result = manipulation_power(
+            SimpleAveragingScheme(), attacked, fair, start_day=0.0, end_day=90.0
+        )
+        deltas = np.sort(result.deltas["a"])[::-1]
+        assert result.per_product["a"] == pytest.approx(deltas[0] + deltas[1])
+        # The third attacked month is NOT counted.
+        assert result.per_product["a"] < deltas.sum()
+
+    def test_total_sums_products(self):
+        fair = fair_world()
+        attacked = fair.merge(
+            {"a": attack_stream("a", 1), "b": attack_stream("b", 1)}
+        )
+        result = manipulation_power(
+            SimpleAveragingScheme(), attacked, fair, start_day=0.0, end_day=90.0
+        )
+        assert result.total == pytest.approx(
+            result.per_product["a"] + result.per_product["b"]
+        )
+
+    def test_single_month_counts_once(self):
+        fair = fair_world()
+        attacked = fair.merge({"a": attack_stream("a", 1)})
+        result = manipulation_power(
+            SimpleAveragingScheme(), attacked, fair, start_day=0.0, end_day=90.0
+        )
+        top = np.sort(result.deltas["a"])[::-1]
+        assert result.per_product["a"] == pytest.approx(top[0] + top[1])
+        assert top[1] == pytest.approx(0.0)
+
+    def test_boost_and_downgrade_both_count(self):
+        fair = fair_world()
+        attacked = fair.merge({"a": attack_stream("a", 1, value=5.0)})
+        result = manipulation_power(
+            SimpleAveragingScheme(), attacked, fair, start_day=0.0, end_day=90.0
+        )
+        assert result.per_product["a"] > 0.0
+
+    def test_top_months(self):
+        fair = fair_world()
+        attacked = fair.merge({"a": attack_stream("a", 2)})
+        result = manipulation_power(
+            SimpleAveragingScheme(), attacked, fair, start_day=0.0, end_day=90.0
+        )
+        first, _second = result.top_months("a")
+        assert first == 2
+
+    def test_scheme_name_recorded(self):
+        fair = fair_world()
+        result = manipulation_power(
+            SimpleAveragingScheme(), fair, fair, start_day=0.0, end_day=90.0
+        )
+        assert result.scheme_name == "SA"
+
+    def test_nan_months_contribute_zero(self):
+        # Product "c" exists only in months 0-1: month 2 scores are NaN.
+        times = np.linspace(0.0, 55.0, 40)
+        stream = RatingStream("c", times, np.full(40, 4.0), [f"u{i}" for i in range(40)])
+        fair = RatingDataset([stream])
+        result = manipulation_power(
+            SimpleAveragingScheme(), fair, fair, start_day=0.0, end_day=90.0
+        )
+        assert result.per_product["c"] == 0.0

@@ -1,0 +1,132 @@
+"""Unit tests for the online (streaming) rating system."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import PScheme, SimpleAveragingScheme
+from repro.errors import ValidationError
+from repro.online import OnlineRatingSystem
+from repro.types import Rating, RatingDataset, RatingStream
+
+
+def make_rating(time, value, product="p", rater=None, unfair=False):
+    rater = rater if rater is not None else f"u_{time}_{value}"
+    return Rating(
+        time=time, rater_id=rater, product_id=product, value=value, unfair=unfair
+    )
+
+
+class TestIngestion:
+    def test_epoch_boundaries(self):
+        system = OnlineRatingSystem(SimpleAveragingScheme(), period_days=30.0)
+        assert system.current_epoch_start == 0.0
+        assert system.current_epoch_end == 30.0
+
+    def test_invalid_period(self):
+        with pytest.raises(ValidationError):
+            OnlineRatingSystem(SimpleAveragingScheme(), period_days=0.0)
+
+    def test_submit_buffers_until_epoch(self):
+        system = OnlineRatingSystem(SimpleAveragingScheme())
+        published = system.submit(make_rating(5.0, 4.0))
+        assert published == []
+        assert system.dataset().total_ratings() == 1
+
+    def test_future_rating_closes_epochs(self):
+        system = OnlineRatingSystem(SimpleAveragingScheme(), period_days=30.0)
+        system.submit(make_rating(5.0, 4.0))
+        published = system.submit(make_rating(65.0, 3.0))
+        assert [r.epoch_index for r in published] == [0, 1]
+        assert system.current_epoch_start == 60.0
+
+    def test_late_rating_counted(self):
+        system = OnlineRatingSystem(SimpleAveragingScheme(), period_days=30.0)
+        system.submit(make_rating(40.0, 4.0))  # closes epoch 0
+        system.submit(make_rating(10.0, 2.0))  # late for epoch 0
+        report = system.close_epoch()
+        assert report.late_ratings == 1
+
+
+class TestPublishing:
+    def test_epoch_scores_match_batch_sa(self):
+        ratings = [make_rating(float(t), 4.0 if t < 30 else 2.0) for t in range(60)]
+        system = OnlineRatingSystem(SimpleAveragingScheme(), period_days=30.0)
+        system.submit_many(ratings)
+        # Epoch 0 was closed automatically by the first t >= 30 rating.
+        assert system.reports[0].scores["p"] == pytest.approx(4.0)
+        final = system.close_epoch()
+        assert final.scores["p"] == pytest.approx(2.0)
+
+    def test_scores_equal_batch_pipeline_at_boundaries(self):
+        rng = np.random.default_rng(0)
+        times = np.sort(rng.uniform(0.0, 88.0, 300))
+        values = np.clip(rng.normal(4.0, 0.5, 300), 0, 5)
+        ratings = [
+            make_rating(float(t), float(v), rater=f"u{i}")
+            for i, (t, v) in enumerate(zip(times, values))
+        ]
+        system = OnlineRatingSystem(SimpleAveragingScheme(), period_days=30.0)
+        system.submit_many(ratings)
+        while system.current_epoch_start < 90.0:
+            system.close_epoch()
+        batch = SimpleAveragingScheme().monthly_scores(
+            system.dataset(), 30.0, 0.0, 90.0
+        )
+        for index, report in enumerate(system.reports[:3]):
+            assert report.scores["p"] == pytest.approx(batch["p"][index])
+
+    def test_empty_system_report(self):
+        system = OnlineRatingSystem(SimpleAveragingScheme())
+        report = system.close_epoch()
+        assert report.scores == {}
+        assert np.isnan(report.score_of("anything"))
+
+    def test_latest_scores(self):
+        system = OnlineRatingSystem(SimpleAveragingScheme())
+        assert system.latest_scores() == {}
+        system.submit(make_rating(1.0, 3.0))
+        system.close_epoch()
+        assert system.latest_scores()["p"] == pytest.approx(3.0)
+
+
+class TestWithHistoryAndPScheme:
+    def build_history(self, seed=0, days=45.0):
+        rng = np.random.default_rng(seed)
+        n = int(days * 6)
+        times = np.sort(rng.uniform(-days, 0.0, n))
+        values = np.clip(np.round(rng.normal(4.0, 0.6, n) * 2) / 2, 0, 5)
+        return RatingDataset(
+            [RatingStream("p", times, values, [f"h{i}" for i in range(n)])]
+        )
+
+    def test_history_feeds_detection(self):
+        history = self.build_history()
+        system = OnlineRatingSystem(
+            PScheme(), start_day=0.0, period_days=30.0, history=history
+        )
+        rng = np.random.default_rng(1)
+        # Honest live traffic plus an unfair block in days 10-20.
+        live = [
+            make_rating(float(t), float(np.clip(rng.normal(4.0, 0.6), 0, 5)),
+                        rater=f"live{i}")
+            for i, t in enumerate(np.sort(rng.uniform(0.0, 29.0, 180)))
+        ]
+        attack = [
+            make_rating(float(t), 0.5, rater=f"atk{i}", unfair=True)
+            for i, t in enumerate(np.sort(rng.uniform(10.0, 20.0, 40)))
+        ]
+        system.submit_many(sorted(live + attack))
+        report = system.close_epoch()
+        published = report.scores["p"]
+        naive = np.mean([r.value for r in live + attack if 0.0 <= r.time < 30.0])
+        # The P-scheme's published score resists the attack: closer to the
+        # honest mean than the naive average is.
+        honest = np.mean([r.value for r in live])
+        assert abs(published - honest) < abs(naive - honest)
+
+    def test_report_sequence_indices(self):
+        system = OnlineRatingSystem(SimpleAveragingScheme())
+        for _ in range(3):
+            system.close_epoch()
+        assert [r.epoch_index for r in system.reports] == [0, 1, 2]
+        assert system.reports[2].epoch_start == pytest.approx(60.0)

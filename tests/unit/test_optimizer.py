@@ -1,0 +1,144 @@
+"""Unit tests for Procedure 2 (heuristic region search)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.optimizer import (
+    RegionSearchResult,
+    SearchArea,
+    heuristic_region_search,
+)
+from repro.errors import AttackSpecError
+
+
+def paper_area():
+    return SearchArea(bias_min=-4.0, bias_max=0.0, std_min=0.0, std_max=2.0)
+
+
+class TestSearchArea:
+    def test_geometry(self):
+        area = paper_area()
+        assert area.bias_width == 4.0
+        assert area.std_width == 2.0
+        assert area.center == (-2.0, 1.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(AttackSpecError):
+            SearchArea(0.0, -1.0, 0.0, 1.0)
+        with pytest.raises(AttackSpecError):
+            SearchArea(0.0, 1.0, 1.0, 0.5)
+        with pytest.raises(AttackSpecError):
+            SearchArea(0.0, 1.0, -0.5, 1.0)
+
+    def test_subdivide_covers_parent(self):
+        area = paper_area()
+        subareas = area.subdivide(4)
+        assert len(subareas) == 4
+        assert min(s.bias_min for s in subareas) == area.bias_min
+        assert max(s.bias_max for s in subareas) == area.bias_max
+        assert min(s.std_min for s in subareas) == area.std_min
+        assert max(s.std_max for s in subareas) == area.std_max
+
+    def test_subdivide_stays_inside_parent(self):
+        area = paper_area()
+        for sub in area.subdivide(4, overlap=0.3):
+            assert sub.bias_min >= area.bias_min - 1e-12
+            assert sub.bias_max <= area.bias_max + 1e-12
+            assert sub.std_min >= area.std_min - 1e-12
+            assert sub.std_max <= area.std_max + 1e-12
+
+    def test_subareas_overlap(self):
+        subareas = paper_area().subdivide(4, overlap=0.25)
+        left, right = subareas[0], subareas[1]
+        assert left.bias_max > right.bias_min  # horizontal overlap exists
+
+    def test_subdivide_shrinks(self):
+        area = paper_area()
+        for sub in area.subdivide(4):
+            assert sub.bias_width < area.bias_width
+            assert sub.std_width < area.std_width
+
+    def test_invalid_overlap(self):
+        with pytest.raises(AttackSpecError):
+            paper_area().subdivide(4, overlap=1.0)
+
+    def test_smaller_than(self):
+        small = SearchArea(-0.2, 0.0, 0.0, 0.1)
+        assert small.smaller_than(0.5, 0.25)
+        assert not paper_area().smaller_than(0.5, 0.25)
+
+
+class TestHeuristicRegionSearch:
+    def test_converges_to_analytic_optimum(self):
+        # Smooth unimodal MP surface peaked at (-2.3, 1.5).
+        def evaluate(bias, std):
+            return float(np.exp(-((bias + 2.3) ** 2) - (std - 1.5) ** 2))
+
+        result = heuristic_region_search(
+            evaluate, paper_area(), probes_per_subarea=1, max_rounds=10
+        )
+        bias, std = result.best_point
+        assert bias == pytest.approx(-2.3, abs=0.5)
+        assert std == pytest.approx(1.5, abs=0.3)
+
+    def test_respects_size_threshold(self):
+        result = heuristic_region_search(
+            lambda b, s: 1.0, paper_area(), probes_per_subarea=1,
+            min_bias_width=0.5, min_std_width=0.25,
+        )
+        assert result.final_area.bias_width <= 0.5 + 1e-9
+        assert result.final_area.std_width <= 0.25 + 1e-9
+
+    def test_trace_records_rounds(self):
+        result = heuristic_region_search(
+            lambda b, s: -abs(b + 1.0), paper_area(), probes_per_subarea=1
+        )
+        assert len(result.rounds) >= 2
+        for round_ in result.rounds:
+            assert len(round_.subareas) == len(round_.scores)
+            assert round_.best_score == max(round_.scores)
+            # Areas shrink monotonically across rounds.
+        widths = [r.area.bias_width for r in result.rounds]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_best_mp_is_max_probe(self):
+        calls = []
+
+        def evaluate(bias, std):
+            value = -((bias + 2.0) ** 2)
+            calls.append(value)
+            return value
+
+        result = heuristic_region_search(
+            evaluate, paper_area(), probes_per_subarea=3, max_rounds=3
+        )
+        assert result.best_mp == pytest.approx(max(calls))
+
+    def test_probe_count(self):
+        calls = []
+
+        def evaluate(bias, std):
+            calls.append(1)
+            return 0.0
+
+        heuristic_region_search(
+            evaluate, paper_area(), n_subareas=4, probes_per_subarea=2, max_rounds=2,
+            min_bias_width=0.01, min_std_width=0.01, final_probes=3,
+        )
+        # rounds * subareas * probes + the final exploitation probes
+        assert len(calls) == 2 * 4 * 2 + 3
+
+    def test_tiny_initial_area_probed_directly(self):
+        result = heuristic_region_search(
+            lambda b, s: 7.0,
+            SearchArea(-0.1, 0.0, 0.0, 0.05),
+            probes_per_subarea=2,
+        )
+        assert result.best_mp == 7.0
+        assert result.rounds == ()
+
+    def test_result_type(self):
+        result = heuristic_region_search(
+            lambda b, s: 0.0, paper_area(), probes_per_subarea=1, max_rounds=1
+        )
+        assert isinstance(result, RegionSearchResult)

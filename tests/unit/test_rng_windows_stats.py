@@ -1,0 +1,146 @@
+"""Unit tests for repro.utils.rng, repro.utils.windows, repro.utils.stats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyDataError, ValidationError
+from repro.utils.rng import resolve_rng, spawn_rng
+from repro.utils.stats import clip_to_scale, describe, running_mean, safe_xlogx
+from repro.utils.windows import centered_windows, shrink_to_bounds, sliding_window_indices
+
+
+class TestResolveRng:
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = resolve_rng(42).integers(0, 1000, 10)
+        b = resolve_rng(42).integers(0, 1000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert resolve_rng(rng) is rng
+
+    def test_different_seeds_differ(self):
+        a = resolve_rng(1).integers(0, 2**31, 20)
+        b = resolve_rng(2).integers(0, 2**31, 20)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawnRng:
+    def test_spawn_count(self):
+        children = spawn_rng(resolve_rng(0), 5)
+        assert len(children) == 5
+
+    def test_children_independent(self):
+        children = spawn_rng(resolve_rng(0), 2)
+        a = children[0].integers(0, 2**31, 20)
+        b = children[1].integers(0, 2**31, 20)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_deterministic_from_seed(self):
+        a = spawn_rng(resolve_rng(7), 3)[2].integers(0, 2**31, 5)
+        b = spawn_rng(resolve_rng(7), 3)[2].integers(0, 2**31, 5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_count(self):
+        assert spawn_rng(resolve_rng(0), 0) == []
+
+
+class TestSlidingWindowIndices:
+    def test_basic(self):
+        assert list(sliding_window_indices(5, 3)) == [(0, 3), (1, 4), (2, 5)]
+
+    def test_step(self):
+        assert list(sliding_window_indices(6, 2, step=2)) == [(0, 2), (2, 4), (4, 6)]
+
+    def test_too_short_series(self):
+        assert list(sliding_window_indices(2, 3)) == []
+
+    def test_invalid_width(self):
+        with pytest.raises(ValidationError):
+            list(sliding_window_indices(5, 0))
+
+
+class TestShrinkToBounds:
+    def test_full_window_fits(self):
+        assert shrink_to_bounds(5, 3, 10) == (2, 8)
+
+    def test_shrinks_near_left_edge(self):
+        assert shrink_to_bounds(1, 3, 10) == (0, 2)
+
+    def test_shrinks_near_right_edge(self):
+        assert shrink_to_bounds(9, 3, 10) == (8, 10)
+
+    def test_center_out_of_range(self):
+        assert shrink_to_bounds(0, 3, 10) == (0, 0)
+        assert shrink_to_bounds(10, 3, 10) == (0, 0)
+
+    def test_tiny_series(self):
+        assert shrink_to_bounds(1, 5, 2) == (0, 2)
+        assert shrink_to_bounds(0, 5, 1) == (0, 0)
+
+    def test_window_symmetric(self):
+        for n in (5, 10, 37):
+            for center in range(1, n):
+                start, stop = shrink_to_bounds(center, 4, n)
+                if stop > start:
+                    assert center - start == stop - center
+
+
+class TestCenteredWindows:
+    def test_covers_all_interior_centers(self):
+        windows = centered_windows(10, 3)
+        centers = [c for c, _, _ in windows]
+        assert centers == list(range(1, 10))
+
+    def test_windows_have_min_size_two(self):
+        for _, start, stop in centered_windows(50, 7):
+            assert stop - start >= 2
+
+    def test_empty_series(self):
+        assert centered_windows(0, 3) == []
+        assert centered_windows(1, 3) == []
+
+
+class TestSafeXlogx:
+    def test_zero_maps_to_zero(self):
+        np.testing.assert_array_equal(safe_xlogx(np.array([0.0])), np.array([0.0]))
+
+    def test_positive_values(self):
+        np.testing.assert_allclose(
+            safe_xlogx(np.array([1.0, np.e])), np.array([0.0, np.e])
+        )
+
+
+class TestDescribe:
+    def test_basic_stats(self):
+        stats = describe([1.0, 2.0, 3.0])
+        assert stats.count == 3
+        assert stats.mean == 2.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        np.testing.assert_allclose(stats.std, np.sqrt(2.0 / 3.0))
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyDataError):
+            describe([])
+
+
+class TestRunningMean:
+    def test_constant_series(self):
+        out = running_mean(np.full(10, 3.0), 4)
+        np.testing.assert_allclose(out, np.full(10, 3.0))
+
+    def test_preserves_length(self):
+        assert running_mean(np.arange(7, dtype=float), 3).shape == (7,)
+
+    def test_empty(self):
+        assert running_mean(np.array([]), 3).size == 0
+
+
+class TestClipToScale:
+    def test_clips_both_sides(self):
+        out = clip_to_scale(np.array([-1.0, 2.5, 9.0]), 0.0, 5.0)
+        np.testing.assert_array_equal(out, np.array([0.0, 2.5, 5.0]))

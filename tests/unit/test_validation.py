@@ -1,0 +1,125 @@
+"""Unit tests for repro.utils.validation."""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    def test_coerces_int_to_float(self):
+        value = check_positive(3, "x")
+        assert isinstance(value, float)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError, match="x"):
+            check_positive(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive(-0.1, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_positive(math.nan, "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_positive(math.inf, "x")
+
+    def test_rejects_non_number(self):
+        with pytest.raises(ValidationError):
+            check_positive("three", "x")
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ValidationError, match="window"):
+            check_positive(-1, "window")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0.0
+
+    def test_accepts_positive(self):
+        assert check_non_negative(2.5, "x") == 2.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative(-1e-9, "x")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(5, "n") == 5
+
+    def test_accepts_integral_float(self):
+        assert check_positive_int(5.0, "n") == 5
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(5.5, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "n")
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(0, "n")
+
+    def test_custom_minimum(self):
+        assert check_positive_int(2, "n", minimum=2) == 2
+        with pytest.raises(ValidationError):
+            check_positive_int(1, "n", minimum=2)
+
+    def test_rejects_string(self):
+        with pytest.raises(ValidationError):
+            check_positive_int("5", "n")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_in_range(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, math.nan])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValidationError):
+            check_probability(value, "p")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0.0, "x", low=0.0, high=1.0) == 0.0
+        assert check_in_range(1.0, "x", low=0.0, high=1.0) == 1.0
+
+    def test_exclusive_low(self):
+        with pytest.raises(ValidationError):
+            check_in_range(0.0, "x", low=0.0, low_inclusive=False)
+
+    def test_exclusive_high(self):
+        with pytest.raises(ValidationError):
+            check_in_range(1.0, "x", high=1.0, high_inclusive=False)
+
+    def test_open_ended(self):
+        assert check_in_range(1e9, "x", low=0.0) == 1e9
+        assert check_in_range(-1e9, "x", high=0.0) == -1e9
+
+    def test_below_low_rejected(self):
+        with pytest.raises(ValidationError):
+            check_in_range(-1.0, "x", low=0.0)
+
+    def test_above_high_rejected(self):
+        with pytest.raises(ValidationError):
+            check_in_range(2.0, "x", high=1.0)
