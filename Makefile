@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick examples clean
+.PHONY: install test lint bench bench-quick bench-baseline examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,11 +10,18 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+lint:            ## bytecode-compile the package and sanity-check test collection
+	$(PYTHON) -m compileall -q src
+	PYTHONPATH=src $(PYTHON) -m pytest --collect-only -q
+
 bench:           ## full 251-submission reproduction of every figure
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-quick:     ## reduced population for a fast pass
 	REPRO_POPULATION=60 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-baseline:  ## headline MP bench with metrics on -> BENCH_obs_baseline.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_obs_baseline.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -1,0 +1,79 @@
+"""Observability baseline: the headline MP benchmark with metrics on.
+
+Runs the E7 headline comparison (P vs SA vs BF over one challenge world
+and synthetic population) twice -- once with the no-op metrics sink to
+measure the uninstrumented wall clock, once with a collecting registry --
+and writes timings, counters, and the instrumentation overhead ratio to
+``BENCH_obs_baseline.json`` at the repo root.  This file seeds the perf
+trajectory: future PRs compare their stage timings and cache hit rates
+against it.
+
+Population size defaults to 30 (a quick pass); set ``REPRO_POPULATION``
+to 251 for the full paper-scale run, matching the pytest benches.
+
+Usage::
+
+    make bench-baseline
+    # or
+    PYTHONPATH=src python benchmarks/bench_obs_baseline.py [out.json]
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import ExperimentContext, run_headline_comparison
+from repro.obs import MetricsRegistry, registry_to_dict, use_registry
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_obs_baseline.json"
+
+
+def _run(population: int, registry=None) -> float:
+    """One headline run from a cold context; returns wall seconds."""
+    context = ExperimentContext(seed=2008, population_size=population)
+    start = time.perf_counter()
+    with use_registry(registry):
+        run_headline_comparison(context)
+    return time.perf_counter() - start
+
+
+def main() -> int:
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_OUT
+    population = int(os.environ.get("REPRO_POPULATION", "30"))
+
+    # Pass 1: no sink configured -- the near-free instrumentation path.
+    baseline_seconds = _run(population, registry=None)
+    # Pass 2: collecting registry -- full telemetry.
+    registry = MetricsRegistry()
+    instrumented_seconds = _run(population, registry=registry)
+
+    payload = {
+        "benchmark": "headline_mp_comparison",
+        "population": population,
+        "baseline_seconds": baseline_seconds,
+        "instrumented_seconds": instrumented_seconds,
+        "overhead_ratio": (
+            instrumented_seconds / baseline_seconds if baseline_seconds else None
+        ),
+        "metrics": registry_to_dict(registry),
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    counters = payload["metrics"]["counters"]
+    print(f"population={population}")
+    print(f"baseline      : {baseline_seconds:.2f}s (no metrics sink)")
+    print(f"instrumented  : {instrumented_seconds:.2f}s "
+          f"(x{payload['overhead_ratio']:.3f})")
+    hits = counters.get("pscheme.report_cache.hits", 0)
+    misses = counters.get("pscheme.report_cache.misses", 0)
+    total = hits + misses
+    if total:
+        print(f"report cache  : {hits:.0f}/{total:.0f} hits "
+              f"({100.0 * hits / total:.1f}%)")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,10 @@ The library provides, from scratch:
   generator with Procedure 2 optimization and Procedure 3 correlation
   (:mod:`repro.attacks`);
 - the Section V analyses and one runner per evaluation figure
-  (:mod:`repro.analysis`, :mod:`repro.experiments`).
+  (:mod:`repro.analysis`, :mod:`repro.experiments`);
+- end-to-end observability -- metrics registry, nested spans, structured
+  logging, detection provenance -- for the whole pipeline
+  (:mod:`repro.obs`).
 
 Quickstart::
 
@@ -56,7 +59,12 @@ from repro.attacks import (
     generate_population,
     heuristic_region_search,
 )
-from repro.detectors import DetectionReport, DetectorConfig, JointDetector
+from repro.detectors import (
+    DetectionReport,
+    DetectorConfig,
+    JointDetector,
+    provenance_labels,
+)
 from repro.errors import (
     AttackSpecError,
     ChallengeRuleError,
@@ -72,6 +80,14 @@ from repro.marketplace import (
     RatingChallenge,
     default_tv_lineup,
     manipulation_power,
+)
+from repro.obs import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    setup_logging,
+    span,
+    use_registry,
 )
 from repro.trust import TrustManager
 from repro.types import DEFAULT_SCALE, Rating, RatingDataset, RatingScale, RatingStream
@@ -98,6 +114,13 @@ __all__ = [
     "DetectionReport",
     "DetectorConfig",
     "JointDetector",
+    "provenance_labels",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "setup_logging",
+    "span",
     "AttackSpecError",
     "ChallengeRuleError",
     "ReproError",

@@ -23,7 +23,11 @@ between detection and trust at roughly double the cost.
 Detection on a given stream is independent of the rest of the dataset, so
 per-stream detection reports are cached by content fingerprint; evaluating
 hundreds of challenge submissions against the same fair world only pays
-for the attacked products.
+for the attacked products.  Whether that claim holds in practice is
+observable: both caches report hits/misses/evictions into the active
+metrics registry (``pscheme.report_cache.*``, ``pscheme.scores_cache.*``)
+and each pipeline stage is timed under
+``span.pscheme.monthly_scores.{detect,trust,aggregate}.seconds``.
 """
 
 from __future__ import annotations
@@ -39,10 +43,14 @@ from repro.aggregation.weighted import trust_weighted_average
 from repro.detectors.base import DetectorConfig
 from repro.detectors.integration import JointDetector
 from repro.errors import ValidationError
+from repro.obs import get_logger, span
+from repro.obs.registry import MetricsRegistry, get_registry
 from repro.trust.manager import TrustManager
 from repro.types import RatingDataset, RatingStream
 
 __all__ = ["PSchemeConfig", "PScheme"]
+
+logger = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -114,15 +122,31 @@ def _stream_key(stream: RatingStream):
 
 
 class PScheme(AggregationScheme):
-    """The proposed reliable rating aggregation system."""
+    """The proposed reliable rating aggregation system.
+
+    ``registry`` injects a metrics sink for this scheme's telemetry
+    (cache counters, stage timings); ``None`` uses the globally active
+    registry at call time.  The injected registry also feeds the embedded
+    :class:`JointDetector` and :class:`TrustManager`.
+    """
 
     name = "P"
 
-    def __init__(self, config: Optional[PSchemeConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[PSchemeConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.config = config if config is not None else PSchemeConfig()
-        self.detector = JointDetector(self.config.detector)
+        self._registry = registry
+        self.detector = JointDetector(self.config.detector, registry=registry)
         self._report_cache: "OrderedDict" = OrderedDict()
         self._scores_cache: "OrderedDict" = OrderedDict()
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics sink in effect (injected, else the global one)."""
+        return self._registry if self._registry is not None else get_registry()
 
     # ------------------------------------------------------------------ #
     # Detection with per-stream caching
@@ -136,41 +160,58 @@ class PScheme(AggregationScheme):
         """Suspicious-rating masks per product.
 
         Results are cached per stream only for the trust-free pass (with a
-        trust lookup the result depends on dataset-wide state).
+        trust lookup the result depends on dataset-wide state).  Returned
+        arrays are write-protected: cached masks are shared across calls,
+        so a mutating caller would otherwise corrupt every later cache
+        hit.  Copy before modifying.
         """
+        registry = self.registry
         marks: Dict[str, np.ndarray] = {}
         for product_id in dataset:
             stream = dataset[product_id]
             if trust_lookup is not None:
-                marks[product_id] = self.detector.analyze(stream, trust_lookup).suspicious
+                mask = self.detector.analyze(stream, trust_lookup).suspicious
+                mask.setflags(write=False)
+                marks[product_id] = mask
                 continue
             key = _stream_key(stream)
             cached = self._report_cache.get(key)
             if cached is None:
+                registry.inc("pscheme.report_cache.misses")
                 cached = self.detector.analyze(stream).suspicious
+                cached.setflags(write=False)
                 self._report_cache[key] = cached
                 while len(self._report_cache) > max(4 * self.config.cache_size, 64):
                     self._report_cache.popitem(last=False)
+                    registry.inc("pscheme.report_cache.evictions")
+            else:
+                registry.inc("pscheme.report_cache.hits")
             marks[product_id] = cached
         return marks
 
     # ------------------------------------------------------------------ #
 
-    def _trust_and_marks(self, dataset: RatingDataset, epoch_times):
+    def _trust_and_marks(self, dataset: RatingDataset, epoch_times, registry):
         """Run detection + Procedure 1, optionally with the feedback pass."""
-        marks = self.detect(dataset)
+        with span("detect", registry):
+            marks = self.detect(dataset)
         manager = TrustManager(
-            self.config.initial_trust, self.config.forgetting_factor
+            self.config.initial_trust, self.config.forgetting_factor,
+            registry=registry,
         )
-        snapshots = manager.run(dataset, marks, epoch_times)
+        with span("trust", registry):
+            snapshots = manager.run(dataset, marks, epoch_times)
         if self.config.two_pass:
             final = snapshots[-1]
             lookup = lambda rid: final.value(rid, self.config.initial_trust)  # noqa: E731
-            marks = self.detect(dataset, trust_lookup=lookup)
+            with span("detect", registry):
+                marks = self.detect(dataset, trust_lookup=lookup)
             manager = TrustManager(
-                self.config.initial_trust, self.config.forgetting_factor
+                self.config.initial_trust, self.config.forgetting_factor,
+                registry=registry,
             )
-            snapshots = manager.run(dataset, marks, epoch_times)
+            with span("trust", registry):
+                snapshots = manager.run(dataset, marks, epoch_times)
         return marks, snapshots
 
     def monthly_scores(
@@ -180,6 +221,7 @@ class PScheme(AggregationScheme):
         start_day: float = 0.0,
         end_day: float = 90.0,
     ) -> Dict[str, np.ndarray]:
+        registry = self.registry
         cache_key = (
             dataset_fingerprint(dataset),
             float(period_days),
@@ -187,10 +229,27 @@ class PScheme(AggregationScheme):
             float(end_day),
         )
         if self.config.cache_size and cache_key in self._scores_cache:
+            registry.inc("pscheme.scores_cache.hits")
+            logger.debug("scores cache hit (%d products)", len(dataset))
             return {k: v.copy() for k, v in self._scores_cache[cache_key].items()}
-        windows = month_windows(start_day, end_day, period_days)
-        epoch_times = [hi for _, hi in windows]
-        marks, snapshots = self._trust_and_marks(dataset, epoch_times)
+        registry.inc("pscheme.scores_cache.misses")
+        with span("pscheme.monthly_scores", registry):
+            windows = month_windows(start_day, end_day, period_days)
+            epoch_times = [hi for _, hi in windows]
+            marks, snapshots = self._trust_and_marks(
+                dataset, epoch_times, registry
+            )
+            with span("aggregate", registry):
+                scores = self._aggregate(dataset, windows, marks, snapshots)
+        if self.config.cache_size:
+            self._scores_cache[cache_key] = {k: v.copy() for k, v in scores.items()}
+            while len(self._scores_cache) > self.config.cache_size:
+                self._scores_cache.popitem(last=False)
+                registry.inc("pscheme.scores_cache.evictions")
+        return scores
+
+    def _aggregate(self, dataset, windows, marks, snapshots):
+        """Step 4: filter highly suspicious ratings, combine per Eq. 7."""
         scores: Dict[str, np.ndarray] = {}
         threshold = self.config.filter_trust_threshold
         for product_id in dataset:
@@ -224,8 +283,4 @@ class PScheme(AggregationScheme):
                     stream.values[idx][keep], trusts[keep]
                 )
             scores[product_id] = series
-        if self.config.cache_size:
-            self._scores_cache[cache_key] = {k: v.copy() for k, v in scores.items()}
-            while len(self._scores_cache) > self.config.cache_size:
-                self._scores_cache.popitem(last=False)
         return scores

@@ -19,10 +19,15 @@ pluggable, exactly as in the attack generator's parameter controller.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import AttackSpecError
+from repro.obs import get_logger
+from repro.obs.registry import MetricsRegistry, get_registry
 from repro.utils.validation import check_positive_int
+
+logger = get_logger(__name__)
 
 __all__ = ["SearchArea", "SearchRound", "RegionSearchResult", "heuristic_region_search"]
 
@@ -147,6 +152,7 @@ def heuristic_region_search(
     max_rounds: int = 12,
     overlap: float = 0.25,
     final_probes: Optional[int] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> RegionSearchResult:
     """Run Procedure 2 over ``evaluate``.
 
@@ -161,11 +167,25 @@ def heuristic_region_search(
     the procedure's deliverable is the *region*, and the attacker will
     keep drawing attacks from it, so the reported ``best_mp`` includes
     this exploitation phase.
+
+    Every probe (one MP evaluation) is counted and timed into the metrics
+    ``registry`` (``search.probes``, ``search.probe_seconds``); ``None``
+    uses the globally active registry.
     """
     probes_per_subarea = check_positive_int(probes_per_subarea, "probes_per_subarea")
     max_rounds = check_positive_int(max_rounds, "max_rounds")
     if final_probes is None:
         final_probes = 2 * probes_per_subarea
+    reg = registry if registry is not None else get_registry()
+
+    def probe(bias: float, std: float) -> float:
+        start = perf_counter()
+        mp = evaluate(bias, std)
+        reg.observe("search.probe_seconds", perf_counter() - start)
+        reg.inc("search.probes")
+        reg.observe("search.probe_mp", float(mp))
+        return mp
+
     area = initial_area
     rounds: List[SearchRound] = []
     best_mp = float("-inf")
@@ -176,7 +196,7 @@ def heuristic_region_search(
         scores: List[float] = []
         for sub in subareas:
             bias, std = sub.center
-            score = max(evaluate(bias, std) for _ in range(probes_per_subarea))
+            score = max(probe(bias, std) for _ in range(probes_per_subarea))
             scores.append(float(score))
         best_index = int(max(range(len(scores)), key=scores.__getitem__))
         rounds.append(
@@ -189,14 +209,20 @@ def heuristic_region_search(
         )
         best_mp = max(best_mp, scores[best_index])
         area = subareas[best_index]
+        reg.inc("search.rounds")
+        logger.debug(
+            "round=%d best_score=%.4f center=(%.2f, %.2f)",
+            len(rounds), scores[best_index], *area.center,
+        )
     if final_probes > 0:
         bias, std = area.center
-        exploitation = max(evaluate(bias, std) for _ in range(final_probes))
+        exploitation = max(probe(bias, std) for _ in range(final_probes))
         best_mp = max(best_mp, float(exploitation))
     if best_mp == float("-inf"):
         # No rounds ran and no final probes were requested: probe once.
         bias, std = area.center
-        best_mp = max(evaluate(bias, std) for _ in range(probes_per_subarea))
+        best_mp = max(probe(bias, std) for _ in range(probes_per_subarea))
+    reg.set_gauge("search.best_mp", float(best_mp))
     return RegionSearchResult(
         rounds=tuple(rounds), final_area=area, best_mp=float(best_mp)
     )

@@ -13,11 +13,14 @@ Subcommands mirror the workflow of the paper's systems::
 ``world`` writes fair rating data as CSV; ``attack`` builds one unfair
 rating submission (JSON); ``evaluate`` scores a submission's Manipulation
 Power under a defense; ``detect`` prints the joint detector's verdict for
-one product; ``population`` simulates a challenge round with synthetic
-participants; ``search`` runs the Procedure 2 region search.
+one product (``--explain`` adds the per-rating provenance table);
+``population`` simulates a challenge round with synthetic participants;
+``search`` runs the Procedure 2 region search.
 
-Every command accepts ``--seed`` for reproducibility.  Exit status is 0 on
-success, 2 on argument errors.
+Every command accepts ``--seed`` for reproducibility, plus the global
+observability flags ``--log-level LEVEL`` (structured logs to stderr) and
+``--metrics-out PATH`` (collect pipeline metrics for the invocation and
+write them as JSON).  Exit status is 0 on success, 2 on argument errors.
 """
 
 from __future__ import annotations
@@ -26,14 +29,17 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.aggregation import BetaFilterScheme, PScheme, SimpleAveragingScheme
 from repro.analysis.reporting import format_table
 from repro.attacks.base import ProductTarget
+from repro.detectors import JointDetector
+from repro.obs import MetricsRegistry, set_registry, setup_logging, write_json
 from repro.attacks.generator import AttackGenerator, AttackSpec
 from repro.attacks.optimizer import SearchArea, heuristic_region_search
 from repro.attacks.population import PopulationConfig, generate_population
 from repro.attacks.time_models import UniformWindow
-from repro.detectors import JointDetector
 from repro.errors import ReproError
 from repro.marketplace.challenge import RatingChallenge
 from repro.marketplace.fair_ratings import FairRatingConfig, FairRatingGenerator
@@ -78,16 +84,30 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-rating",
         description="Rating-system attack modeling (ICDCS 2008 reproduction).",
     )
+    # Observability flags shared by every subcommand.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--log-level", default="WARNING",
+        choices=("DEBUG", "INFO", "WARNING", "ERROR"),
+        help="structured log verbosity (stderr; default WARNING)",
+    )
+    common.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="collect pipeline metrics and write them to PATH as JSON",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    world = sub.add_parser("world", help="generate fair rating data (CSV)")
+    def add_parser(name, **kwargs):
+        return sub.add_parser(name, parents=[common], **kwargs)
+
+    world = add_parser("world", help="generate fair rating data (CSV)")
     world.add_argument("--seed", type=int, default=0)
     world.add_argument("--out", required=True, help="output CSV path")
     world.add_argument("--duration-days", type=float, default=82.0)
     world.add_argument("--history-days", type=float, default=45.0)
     world.add_argument("--arrivals-per-day", type=float, default=6.0)
 
-    attack = sub.add_parser("attack", help="generate an attack submission (JSON)")
+    attack = add_parser("attack", help="generate an attack submission (JSON)")
     attack.add_argument("--world", required=True, help="fair data CSV")
     attack.add_argument(
         "--target", dest="targets", action="append", type=_parse_target,
@@ -105,7 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--seed", type=int, default=0)
     attack.add_argument("--out", required=True, help="output JSON path")
 
-    evaluate = sub.add_parser("evaluate", help="score a submission's MP")
+    evaluate = add_parser("evaluate", help="score a submission's MP")
     evaluate.add_argument("--world", required=True, help="fair data CSV")
     evaluate.add_argument("--submission", required=True, help="submission JSON")
     evaluate.add_argument(
@@ -114,11 +134,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument("--period-days", type=float, default=30.0)
 
-    detect = sub.add_parser("detect", help="run the joint detector on a product")
+    detect = add_parser("detect", help="run the joint detector on a product")
     detect.add_argument("--world", required=True, help="rating data CSV")
     detect.add_argument("--product", required=True)
+    detect.add_argument(
+        "--explain", action="store_true",
+        help="print the per-rating detection provenance table "
+             "(which path/detectors marked each suspicious rating)",
+    )
 
-    population = sub.add_parser(
+    population = add_parser(
         "population", help="simulate a challenge round with synthetic participants"
     )
     population.add_argument("--seed", type=int, default=2008)
@@ -128,18 +153,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     population.add_argument("--top", type=int, default=10)
 
-    search = sub.add_parser("search", help="Procedure 2 region search")
+    search = add_parser("search", help="Procedure 2 region search")
     search.add_argument("--seed", type=int, default=2008)
     search.add_argument("--scheme", choices=sorted(_SCHEMES), default="SA")
     search.add_argument("--probes", type=int, default=4)
     search.add_argument("--subareas", type=int, default=4)
 
-    ablation = sub.add_parser(
+    ablation = add_parser(
         "ablation", help="P-scheme design ablation on the canonical attacks"
     )
     ablation.add_argument("--seed", type=int, default=2008)
 
-    sensitivity = sub.add_parser(
+    sensitivity = add_parser(
         "sensitivity", help="ROC-style sweep of one detector threshold"
     )
     sensitivity.add_argument("--parameter", required=True,
@@ -216,6 +241,35 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _provenance_table(stream, report) -> str:
+    """The per-rating detection provenance table for ``detect --explain``."""
+    rows = []
+    for index in np.nonzero(report.suspicious)[0]:
+        labels = report.provenance_of(int(index))
+        paths = ",".join(label for label in labels if label.startswith("path"))
+        detectors = ",".join(
+            label for label in labels if not label.startswith("path")
+        )
+        rows.append(
+            (
+                int(index),
+                float(stream.times[index]),
+                float(stream.values[index]),
+                stream.rater_ids[index],
+                paths or "-",
+                detectors or "-",
+            )
+        )
+    if not rows:
+        return "no suspicious ratings: nothing to explain"
+    return format_table(
+        ["idx", "day", "value", "rater", "paths", "detectors"],
+        rows,
+        float_format=".2f",
+        title=f"Detection provenance for {stream.product_id}",
+    )
+
+
 def _cmd_detect(args) -> int:
     dataset = load_dataset_csv(args.world)
     if args.product not in dataset:
@@ -236,6 +290,8 @@ def _cmd_detect(args) -> int:
         unfair = stream.unfair
         recall = (report.suspicious & unfair).sum() / unfair.sum()
         print(f"ground-truth recall: {recall:.0%}")
+    if args.explain:
+        print(_provenance_table(stream, report))
     return 0
 
 
@@ -338,14 +394,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    setup_logging(args.log_level)
+    registry = previous = None
+    if args.metrics_out:
+        # Collect this invocation's pipeline telemetry and persist it.
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
     try:
-        return _COMMANDS[args.command](args)
+        status = _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        status = 2
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        status = 2
+    finally:
+        if registry is not None:
+            set_registry(previous)
+    if registry is not None:
+        try:
+            write_json(registry, args.metrics_out)
+            print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+        except OSError as exc:
+            print(f"error: cannot write metrics: {exc}", file=sys.stderr)
+            status = status or 2
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -12,7 +12,13 @@
 """
 
 from repro.detectors.arrival_rate import ArrivalRateDetector, ArrivalRateReport
-from repro.detectors.base import DetectionReport, DetectorConfig, TimeInterval
+from repro.detectors.base import (
+    PROVENANCE_FLAGS,
+    DetectionReport,
+    DetectorConfig,
+    TimeInterval,
+    provenance_labels,
+)
 from repro.detectors.calibration import (
     CalibrationResult,
     NullStatistics,
@@ -32,6 +38,8 @@ __all__ = [
     "DetectionReport",
     "DetectorConfig",
     "TimeInterval",
+    "PROVENANCE_FLAGS",
+    "provenance_labels",
     "HistogramChangeDetector",
     "JointDetector",
     "MeanChangeDetector",

@@ -21,7 +21,56 @@ from repro.errors import ValidationError
 from repro.signal.curves import Curve
 from repro.signal.peaks import UShape
 
-__all__ = ["TimeInterval", "DetectorConfig", "DetectionReport"]
+__all__ = [
+    "TimeInterval",
+    "DetectorConfig",
+    "DetectionReport",
+    "PROV_PATH1",
+    "PROV_PATH2",
+    "PROV_MC",
+    "PROV_H_ARC",
+    "PROV_L_ARC",
+    "PROV_HC",
+    "PROV_ME",
+    "PROVENANCE_FLAGS",
+    "provenance_labels",
+]
+
+
+# --------------------------------------------------------------------- #
+# Detection provenance
+#
+# The joint detector records, per rating, *why* it was marked: which
+# Figure 1 path fired and which sub-detectors contributed.  Flags are
+# bit-ored into a uint8 mask aligned with the stream; a rating is
+# suspicious iff its provenance is nonzero.
+# --------------------------------------------------------------------- #
+
+PROV_PATH1 = 0x01  #: marked by Path 1 (MC interval ∩ ARC interval)
+PROV_PATH2 = 0x02  #: marked by Path 2 (ARC alarm confirmed by ME/HC)
+PROV_MC = 0x04  #: the mean-change detector contributed
+PROV_H_ARC = 0x08  #: the high-side arrival-rate detector contributed
+PROV_L_ARC = 0x10  #: the low-side arrival-rate detector contributed
+PROV_HC = 0x20  #: the histogram-change detector contributed
+PROV_ME = 0x40  #: the model-error detector contributed
+
+#: Label -> bit, in display order (paths first, then detectors).
+PROVENANCE_FLAGS = {
+    "path1": PROV_PATH1,
+    "path2": PROV_PATH2,
+    "MC": PROV_MC,
+    "H-ARC": PROV_H_ARC,
+    "L-ARC": PROV_L_ARC,
+    "HC": PROV_HC,
+    "ME": PROV_ME,
+}
+
+
+def provenance_labels(code: int) -> Tuple[str, ...]:
+    """Human-readable names of the flags set in one provenance code."""
+    return tuple(
+        label for label, bit in PROVENANCE_FLAGS.items() if code & bit
+    )
 
 
 @dataclass(frozen=True)
@@ -206,6 +255,10 @@ class DetectionReport:
     path1_intervals / path2_intervals:
         Suspicious time intervals discovered by each detection path of
         Figure 1.
+    provenance:
+        Per-rating uint8 bitmask of ``PROV_*`` flags recording which path
+        and which detectors marked the rating.  Nonzero exactly where
+        ``suspicious`` is ``True``; decode with :func:`provenance_labels`.
     curves:
         Indicator curves by kind (``"MC"``, ``"H-ARC"``, ``"L-ARC"``,
         ``"HC"``, ``"ME"``) for introspection and plotting.
@@ -217,11 +270,18 @@ class DetectionReport:
     suspicious: np.ndarray
     path1_intervals: Tuple[TimeInterval, ...] = ()
     path2_intervals: Tuple[TimeInterval, ...] = ()
+    provenance: Optional[np.ndarray] = None
     curves: Mapping[str, Curve] = field(default_factory=dict)
     alarms: Mapping[str, bool] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.suspicious.setflags(write=False)
+        if self.provenance is None:
+            object.__setattr__(
+                self, "provenance",
+                np.zeros(self.suspicious.shape, dtype=np.uint8),
+            )
+        self.provenance.setflags(write=False)
 
     @property
     def num_suspicious(self) -> int:
@@ -236,3 +296,12 @@ class DetectionReport:
     def intervals(self) -> List[TimeInterval]:
         """All suspicious intervals (both paths)."""
         return list(self.path1_intervals) + list(self.path2_intervals)
+
+    def provenance_of(self, index: int) -> Tuple[str, ...]:
+        """Decoded provenance labels for the rating at ``index``."""
+        return provenance_labels(int(self.provenance[index]))
+
+    @property
+    def provenance_consistent(self) -> bool:
+        """Whether provenance is nonzero exactly where suspicious."""
+        return bool(np.array_equal(self.provenance != 0, self.suspicious))

@@ -18,6 +18,14 @@ ME-suspicious (HC-suspicious) interval are marked.
 Both paths always run; their marks are unioned (a product can be attacked
 more than once, Section IV-F).
 
+Every mark also records *provenance*: which path fired and which
+sub-detectors contributed, as ``PROV_*`` bit flags per rating
+(:mod:`repro.detectors.base`).  The mask travels on the
+:class:`DetectionReport`, feeding per-decision attribution (the CLI's
+``detect --explain``) without re-running detection.  Per-sub-detector
+wall-clock timings are recorded into the active metrics registry under
+``detector.<kind>.seconds``.
+
 Implementation note: the paper issues the Path 2 alarm only when the ARC
 curve "does not have such a U-shape"; we raise it whenever the curve
 exceeds the alarm threshold, because the ME/HC confirmation step already
@@ -27,32 +35,62 @@ misses (e.g. an MC curve flattened by a high-variance attack).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.detectors.arrival_rate import ArrivalRateDetector, ArrivalRateReport
-from repro.detectors.base import DetectionReport, DetectorConfig, TimeInterval
+from repro.detectors.base import (
+    PROV_H_ARC,
+    PROV_HC,
+    PROV_L_ARC,
+    PROV_MC,
+    PROV_ME,
+    PROV_PATH1,
+    PROV_PATH2,
+    DetectionReport,
+    DetectorConfig,
+    TimeInterval,
+)
 from repro.detectors.histogram import HistogramChangeDetector
 from repro.detectors.mean_change import MeanChangeDetector, MeanChangeReport
 from repro.detectors.model_error import ModelErrorDetector
+from repro.obs import get_logger
+from repro.obs.registry import MetricsRegistry, get_registry
 from repro.types import RatingStream
 
 __all__ = ["JointDetector"]
 
 TrustLookup = Callable[[str], float]
 
+logger = get_logger(__name__)
+
 
 class JointDetector:
-    """The complete suspicious-rating detection stage of the P-scheme."""
+    """The complete suspicious-rating detection stage of the P-scheme.
 
-    def __init__(self, config: Optional[DetectorConfig] = None) -> None:
+    ``registry`` injects a metrics sink for this detector's telemetry;
+    when ``None`` the globally active registry is used at call time.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DetectorConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.config = config if config is not None else DetectorConfig()
+        self._registry = registry
         self.mean_change = MeanChangeDetector(self.config)
         self.h_arc = ArrivalRateDetector("H-ARC", self.config)
         self.l_arc = ArrivalRateDetector("L-ARC", self.config)
         self.histogram = HistogramChangeDetector(self.config)
         self.model_error = ModelErrorDetector(self.config)
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics sink in effect (injected, else the global one)."""
+        return self._registry if self._registry is not None else get_registry()
 
     # ------------------------------------------------------------------ #
 
@@ -72,12 +110,17 @@ class JointDetector:
     @staticmethod
     def _mark(
         mask: np.ndarray,
+        provenance: np.ndarray,
         stream: RatingStream,
         interval: TimeInterval,
         value_mask: np.ndarray,
+        flags: int,
     ) -> None:
-        """Mark ratings inside ``interval`` that satisfy ``value_mask``."""
-        mask |= interval.mask(stream.times) & value_mask
+        """Mark ratings inside ``interval`` that satisfy ``value_mask``,
+        recording ``flags`` as their provenance."""
+        hit = interval.mask(stream.times) & value_mask
+        mask |= hit
+        provenance[hit] |= flags
 
     def _path1(
         self,
@@ -88,6 +131,7 @@ class JointDetector:
         high_mask: np.ndarray,
         low_mask: np.ndarray,
         mask: np.ndarray,
+        provenance: np.ndarray,
     ) -> List[TimeInterval]:
         """Path 1: MC interval overlapping an H/L-ARC interval.
 
@@ -99,9 +143,9 @@ class JointDetector:
         """
         fired: List[TimeInterval] = []
         mc_intervals = self._report_intervals(mc_report)
-        for arc_report, value_mask in (
-            (harc_report, high_mask),
-            (larc_report, low_mask),
+        for arc_report, value_mask, arc_flag in (
+            (harc_report, high_mask, PROV_H_ARC),
+            (larc_report, low_mask, PROV_L_ARC),
         ):
             for arc_interval in self._report_intervals(arc_report):
                 confirmed = any(
@@ -110,7 +154,10 @@ class JointDetector:
                 )
                 if not confirmed:
                     continue
-                self._mark(mask, stream, arc_interval, value_mask)
+                self._mark(
+                    mask, provenance, stream, arc_interval, value_mask,
+                    PROV_PATH1 | PROV_MC | arc_flag,
+                )
                 fired.append(arc_interval)
         return fired
 
@@ -124,20 +171,36 @@ class JointDetector:
         high_mask: np.ndarray,
         low_mask: np.ndarray,
         mask: np.ndarray,
+        provenance: np.ndarray,
     ) -> List[TimeInterval]:
         """Path 2: ARC alarm confirmed by the ME or HC detector."""
         fired: List[TimeInterval] = []
         if harc_report.alarm:
             for interval in me_intervals:
-                self._mark(mask, stream, interval, high_mask)
+                self._mark(
+                    mask, provenance, stream, interval, high_mask,
+                    PROV_PATH2 | PROV_H_ARC | PROV_ME,
+                )
                 fired.append(interval)
         if larc_report.alarm:
             for interval in hc_intervals:
-                self._mark(mask, stream, interval, low_mask)
+                self._mark(
+                    mask, provenance, stream, interval, low_mask,
+                    PROV_PATH2 | PROV_L_ARC | PROV_HC,
+                )
                 fired.append(interval)
         return fired
 
     # ------------------------------------------------------------------ #
+
+    def _timed(self, kind: str, analyze: Callable, *args):
+        """Run one sub-detector, recording its wall-clock time."""
+        start = perf_counter()
+        report = analyze(*args)
+        registry = self.registry
+        registry.observe(f"detector.{kind}.seconds", perf_counter() - start)
+        registry.inc(f"detector.{kind}.calls")
+        return report
 
     def analyze(
         self,
@@ -152,6 +215,7 @@ class JointDetector:
         """
         n = len(stream)
         if n < self.config.min_ratings:
+            self.registry.inc("detector.short_streams")
             return DetectionReport(
                 product_id=stream.product_id,
                 suspicious=np.zeros(n, dtype=bool),
@@ -162,18 +226,20 @@ class JointDetector:
         high_mask = stream.values > threshold_a
         low_mask = stream.values < threshold_b
 
-        mc_report = self.mean_change.analyze(stream, trust_lookup)
-        harc_report = self.h_arc.analyze(stream)
-        larc_report = self.l_arc.analyze(stream)
-        hc_report = self.histogram.analyze(stream)
-        me_report = self.model_error.analyze(stream)
+        mc_report = self._timed("MC", self.mean_change.analyze, stream, trust_lookup)
+        harc_report = self._timed("H-ARC", self.h_arc.analyze, stream)
+        larc_report = self._timed("L-ARC", self.l_arc.analyze, stream)
+        hc_report = self._timed("HC", self.histogram.analyze, stream)
+        me_report = self._timed("ME", self.model_error.analyze, stream)
 
         mask = np.zeros(n, dtype=bool)
+        provenance = np.zeros(n, dtype=np.uint8)
         path1: List[TimeInterval] = []
         path2: List[TimeInterval] = []
         if self.config.enable_path1:
             path1 = self._path1(
-                stream, mc_report, harc_report, larc_report, high_mask, low_mask, mask
+                stream, mc_report, harc_report, larc_report,
+                high_mask, low_mask, mask, provenance,
             )
         if self.config.enable_path2:
             path2 = self._path2(
@@ -185,6 +251,15 @@ class JointDetector:
                 high_mask,
                 low_mask,
                 mask,
+                provenance,
+            )
+        registry = self.registry
+        registry.inc("detector.joint.calls")
+        if mask.any():
+            registry.inc("detector.joint.marked_ratings", int(mask.sum()))
+            logger.debug(
+                "product=%s marked=%d path1_intervals=%d path2_intervals=%d",
+                stream.product_id, int(mask.sum()), len(path1), len(path2),
             )
         curves = {
             "MC": mc_report.curve,
@@ -198,6 +273,7 @@ class JointDetector:
             suspicious=mask,
             path1_intervals=tuple(path1),
             path2_intervals=tuple(path2),
+            provenance=provenance,
             curves=curves,
             alarms={"H-ARC": harc_report.alarm, "L-ARC": larc_report.alarm},
         )

@@ -1,0 +1,63 @@
+"""Observability for the rating pipeline: metrics, spans, logs, exporters.
+
+The pipeline (detectors -> joint detection -> trust -> aggregation ->
+online epochs -> attack optimizer) is instrumented end to end through
+this package:
+
+- :class:`MetricsRegistry` -- process-local counters, gauges, and
+  histograms with summary statistics.  The default global sink is
+  :data:`NULL_REGISTRY` (no-op, near-zero overhead); install a collecting
+  registry with :func:`set_registry` / :func:`use_registry`, or inject one
+  into any instrumented component.
+- :func:`span` -- nested wall-clock tracing; per-stage durations land in
+  ``span.<dotted.path>.seconds`` histograms.
+- :func:`setup_logging` / :func:`get_logger` -- structured ``key=value``
+  logging under the ``repro`` logger tree (silent until configured).
+- :func:`write_json` / :func:`format_metrics` -- exporters (JSON file,
+  aligned text tables).
+
+Quickstart::
+
+    from repro.obs import MetricsRegistry, use_registry, write_json
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        scheme.monthly_scores(dataset)
+    print(registry.counter_value("pscheme.scores_cache.misses"))
+    write_json(registry, "metrics.json")
+"""
+
+from repro.obs.export import format_metrics, registry_to_dict, write_json
+from repro.obs.logging_setup import get_logger, setup_logging
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.spans import SpanRecord, current_span_path, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "SpanRecord",
+    "span",
+    "current_span_path",
+    "get_logger",
+    "setup_logging",
+    "format_metrics",
+    "registry_to_dict",
+    "write_json",
+]

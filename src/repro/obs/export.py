@@ -1,0 +1,79 @@
+"""Exporters: registry -> JSON file, registry -> human-readable tables."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["registry_to_dict", "write_json", "format_metrics"]
+
+
+def registry_to_dict(registry: MetricsRegistry) -> Dict[str, object]:
+    """A JSON-serializable dump of everything the registry collected."""
+    payload = registry.snapshot()
+    payload["spans"] = [
+        {
+            "path": record.path,
+            "depth": record.depth,
+            "seconds": record.duration,
+            **({"annotations": dict(record.annotations)}
+               if record.annotations else {}),
+        }
+        for record in registry.spans
+    ]
+    return payload
+
+
+def write_json(registry: MetricsRegistry, path: str) -> None:
+    """Write the registry dump to ``path`` as indented JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(registry_to_dict(registry), fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def format_metrics(registry: MetricsRegistry) -> str:
+    """Render the registry as aligned text tables (counters, gauges,
+    histogram summaries), in the same style as the bench reports."""
+    # Imported here: repro.analysis pulls in the attack/detector stack,
+    # whose modules import repro.obs -- a module-level import would cycle.
+    from repro.analysis.reporting import format_table
+
+    sections: List[str] = []
+    snap = registry.snapshot()
+    counter_rows: List[Tuple[object, ...]] = [
+        (name, value) for name, value in snap["counters"].items()
+    ]
+    if counter_rows:
+        sections.append(
+            format_table(["counter", "value"], counter_rows,
+                         float_format=".0f", title="Counters")
+        )
+    gauge_rows = [(name, value) for name, value in snap["gauges"].items()]
+    if gauge_rows:
+        sections.append(format_table(["gauge", "value"], gauge_rows,
+                                     title="Gauges"))
+    hist_rows = [
+        (
+            name,
+            summary.get("count", 0),
+            summary.get("mean", float("nan")),
+            summary.get("p50", float("nan")),
+            summary.get("p99", float("nan")),
+            summary.get("max", float("nan")),
+        )
+        for name, summary in snap["histograms"].items()
+    ]
+    if hist_rows:
+        sections.append(
+            format_table(
+                ["histogram", "count", "mean", "p50", "p99", "max"],
+                hist_rows,
+                float_format=".6f",
+                title="Histograms",
+            )
+        )
+    if not sections:
+        return "(no metrics collected)"
+    return "\n\n".join(sections)

@@ -1,0 +1,63 @@
+"""Structured logging setup for the ``repro`` package.
+
+Every module logs through a child of the ``repro`` logger
+(``get_logger(__name__)``).  Nothing is emitted until
+:func:`setup_logging` installs a handler -- the library stays silent by
+default, like a library should.  The formatter is line-oriented
+``key=value`` structured text, greppable and cheap.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = ["setup_logging", "get_logger", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s level=%(levelname)s logger=%(name)s %(message)s"
+
+#: Handler installed by setup_logging, remembered for idempotent re-setup.
+_installed_handler: Optional[logging.Handler] = None
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    ``name`` may be a module ``__name__`` (already rooted at ``repro``) or
+    a bare suffix, which is attached under the root logger.
+    """
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def setup_logging(
+    level: str = "WARNING", stream: Optional[IO[str]] = None
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree and return its root.
+
+    Idempotent: calling again replaces the previously installed handler
+    (so tests and repeated CLI invocations never stack handlers).  The
+    ``repro`` tree does not propagate to the Python root logger, keeping
+    host applications' logging untouched.
+    """
+    try:
+        numeric = getattr(logging, level.upper())
+        if not isinstance(numeric, int):
+            raise AttributeError(level)
+    except AttributeError:
+        raise ValueError(f"unknown log level {level!r}") from None
+    global _installed_handler
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    if _installed_handler is not None:
+        logger.removeHandler(_installed_handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    logger.addHandler(handler)
+    logger.setLevel(numeric)
+    logger.propagate = False
+    _installed_handler = handler
+    return logger

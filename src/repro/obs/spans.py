@@ -1,0 +1,91 @@
+"""Nested wall-clock tracing via the :func:`span` context manager.
+
+Spans nest per thread: entering a span while another is open produces a
+dotted path (``pscheme.monthly_scores.detect``), so one histogram per
+stage accumulates under a stable name and the recorded span list can be
+re-assembled into a call tree.  When the active registry is the no-op
+sink, :func:`span` yields immediately without touching the clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry, get_registry
+
+__all__ = ["SpanRecord", "span", "current_span_path"]
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or in-flight) traced section."""
+
+    name: str
+    path: str
+    depth: int
+    start: float = 0.0
+    duration: float = 0.0
+    annotations: dict = field(default_factory=dict)
+
+    def annotate(self, **kwargs) -> None:
+        """Attach key/value context to the span (e.g. sizes, cache keys)."""
+        self.annotations.update(kwargs)
+
+
+class _SpanStack(threading.local):
+    def __init__(self) -> None:
+        self.items: List[SpanRecord] = []
+
+
+_stack = _SpanStack()
+
+
+def current_span_path() -> str:
+    """Dotted path of the innermost open span ("" outside any span)."""
+    return _stack.items[-1].path if _stack.items else ""
+
+
+_NULL_SPAN = SpanRecord(name="", path="", depth=0)
+
+
+@contextmanager
+def span(
+    name: str, registry: Optional[MetricsRegistry] = None
+) -> Iterator[SpanRecord]:
+    """Time a section of code, nesting under any enclosing span.
+
+    Usage::
+
+        with span("pscheme.monthly_scores"):
+            with span("detect"):
+                ...
+
+    records histograms ``span.pscheme.monthly_scores.seconds`` and
+    ``span.pscheme.monthly_scores.detect.seconds`` into the registry
+    (the explicit one, or whatever is globally active at entry).
+    """
+    reg = registry if registry is not None else get_registry()
+    if reg is NULL_REGISTRY or not reg.enabled:
+        # No sink: skip the clock and the stack entirely.
+        yield _NULL_SPAN
+        return
+    parent = _stack.items[-1] if _stack.items else None
+    path = f"{parent.path}.{name}" if parent is not None else name
+    record = SpanRecord(
+        name=name,
+        path=path,
+        depth=parent.depth + 1 if parent is not None else 0,
+        start=time.perf_counter(),
+    )
+    _stack.items.append(record)
+    try:
+        yield record
+    finally:
+        record.duration = time.perf_counter() - record.start
+        popped = _stack.items.pop()
+        assert popped is record, "span stack corrupted"
+        reg.record_span(record)

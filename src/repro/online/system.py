@@ -11,25 +11,49 @@ P-scheme's internal fingerprint caches keep the recomputation cost
 proportional to what actually changed.
 
 Late ratings (timestamps before an already-published epoch) are accepted
-into the history but flagged in the epoch report: a production system
-must decide whether to restate published scores; this one recomputes, so
-subsequent epoch reports reflect the corrected history.
+into the history and attributed to the epoch their *timestamp* lands in,
+not the epoch that happened to be accumulating when they arrived -- a
+late rating arriving after a far-future rating auto-closed several epochs
+would otherwise be charged to an unrelated report (or, for the skipped
+epochs, to none at all).  Published ``EpochReport`` objects are immutable,
+so the :attr:`OnlineRatingSystem.reports` view restates ``late_ratings``
+with everything learned since publication, consistent with this system's
+recompute-from-history policy; the snapshot returned by
+:meth:`close_epoch` keeps the counts known at publish time.
+
+Each report also carries a ``telemetry`` block (ingest rate, late-rating
+totals, scheme latency), and the same signals flow into the active
+metrics registry under ``online.*``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
+from time import perf_counter
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ValidationError
+from repro.obs import get_logger
+from repro.obs.registry import MetricsRegistry, get_registry
 from repro.types import Rating, RatingDataset, RatingStream
 
 __all__ = ["EpochReport", "OnlineRatingSystem"]
 
+logger = get_logger(__name__)
+
 
 @dataclass(frozen=True)
 class EpochReport:
-    """Everything published when one scoring epoch closes."""
+    """Everything published when one scoring epoch closes.
+
+    ``late_ratings`` counts ratings whose timestamps land inside this
+    epoch's window but that arrived after the epoch was published (known
+    at the time the report was materialized -- see the module docstring).
+    ``telemetry`` carries operational measurements: ``ratings_ingested``,
+    ``ingest_rate_per_day``, ``late_ratings_total`` (cumulative across the
+    system), and ``scheme_seconds`` (wall-clock cost of the aggregation
+    scheme for this close).
+    """
 
     epoch_index: int
     epoch_start: float
@@ -37,6 +61,7 @@ class EpochReport:
     scores: Mapping[str, float]
     ratings_ingested: int
     late_ratings: int
+    telemetry: Mapping[str, float] = field(default_factory=dict)
 
     def score_of(self, product_id: str) -> float:
         """Published score for ``product_id`` (NaN when unscored)."""
@@ -57,6 +82,9 @@ class OnlineRatingSystem:
     history:
         Optional pre-existing rating data (e.g. the pre-challenge
         history) the detectors should see from the start.
+    registry:
+        Metrics sink for this system's telemetry; ``None`` uses the
+        globally active registry at call time.
     """
 
     def __init__(
@@ -65,12 +93,14 @@ class OnlineRatingSystem:
         start_day: float = 0.0,
         period_days: float = 30.0,
         history: Optional[RatingDataset] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if period_days <= 0:
             raise ValidationError(f"period_days must be > 0, got {period_days}")
         self.scheme = scheme
         self.start_day = float(start_day)
         self.period_days = float(period_days)
+        self._registry = registry
         self._buffers: Dict[str, List[Rating]] = {}
         self._history_floor = self.start_day
         if history is not None:
@@ -82,8 +112,15 @@ class OnlineRatingSystem:
                     )
         self._epochs_closed = 0
         self._ingested_this_epoch = 0
-        self._late_this_epoch = 0
+        # Late arrivals keyed by the epoch index their timestamp lands in.
+        self._late_by_epoch: Dict[int, int] = {}
+        self._late_total = 0
         self._reports: List[EpochReport] = []
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics sink in effect (injected, else the global one)."""
+        return self._registry if self._registry is not None else get_registry()
 
     # ------------------------------------------------------------------ #
     # Ingestion
@@ -99,6 +136,10 @@ class OnlineRatingSystem:
         """End time (exclusive) of the epoch currently accumulating."""
         return self.current_epoch_start + self.period_days
 
+    def _epoch_index_of(self, time: float) -> int:
+        """The scoring epoch a timestamp lands in (pre-start clamps to 0)."""
+        return max(0, int((time - self.start_day) // self.period_days))
+
     def submit(self, rating: Rating) -> List[EpochReport]:
         """Ingest one rating; auto-close any epochs its timestamp passes.
 
@@ -109,9 +150,13 @@ class OnlineRatingSystem:
         while rating.time >= self.current_epoch_end:
             published.append(self.close_epoch())
         if rating.time < self.current_epoch_start:
-            self._late_this_epoch += 1
+            landing = self._epoch_index_of(rating.time)
+            self._late_by_epoch[landing] = self._late_by_epoch.get(landing, 0) + 1
+            self._late_total += 1
+            self.registry.inc("online.late_ratings")
         self._buffers.setdefault(rating.product_id, []).append(rating)
         self._ingested_this_epoch += 1
+        self.registry.inc("online.ratings_ingested")
         return published
 
     def submit_many(self, ratings) -> List[EpochReport]:
@@ -138,13 +183,16 @@ class OnlineRatingSystem:
         epoch_start = self.current_epoch_start
         epoch_end = self.current_epoch_end
         snapshot = self.dataset()
+        scheme_seconds = 0.0
         if len(snapshot) and snapshot.total_ratings():
+            tick = perf_counter()
             scores_series = self.scheme.monthly_scores(
                 snapshot,
                 period_days=self.period_days,
                 start_day=self.start_day,
                 end_day=epoch_end,
             )
+            scheme_seconds = perf_counter() - tick
             index = self._epochs_closed
             scores = {
                 product_id: float(series[index]) if index < series.size else float("nan")
@@ -152,24 +200,53 @@ class OnlineRatingSystem:
             }
         else:
             scores = {}
+        ingested = self._ingested_this_epoch
+        telemetry = {
+            "ratings_ingested": float(ingested),
+            "ingest_rate_per_day": ingested / self.period_days,
+            "late_ratings_total": float(self._late_total),
+            "scheme_seconds": scheme_seconds,
+        }
         report = EpochReport(
             epoch_index=self._epochs_closed,
             epoch_start=epoch_start,
             epoch_end=epoch_end,
             scores=scores,
-            ratings_ingested=self._ingested_this_epoch,
-            late_ratings=self._late_this_epoch,
+            ratings_ingested=ingested,
+            late_ratings=self._late_by_epoch.get(self._epochs_closed, 0),
+            telemetry=telemetry,
         )
         self._reports.append(report)
         self._epochs_closed += 1
         self._ingested_this_epoch = 0
-        self._late_this_epoch = 0
+        registry = self.registry
+        registry.inc("online.epochs_closed")
+        registry.observe("online.scheme_seconds", scheme_seconds)
+        registry.set_gauge("online.products", float(len(self._buffers)))
+        logger.info(
+            "epoch=%d window=[%.1f, %.1f) products_scored=%d ingested=%d "
+            "scheme_seconds=%.4f",
+            report.epoch_index, epoch_start, epoch_end, len(scores),
+            ingested, scheme_seconds,
+        )
         return report
+
+    def _restated(self, report: EpochReport) -> EpochReport:
+        """The report with late-rating knowledge learned since publish."""
+        known = self._late_by_epoch.get(report.epoch_index, 0)
+        if known == report.late_ratings:
+            return report
+        return replace(report, late_ratings=known)
 
     @property
     def reports(self) -> Tuple[EpochReport, ...]:
-        """All epoch reports published so far."""
-        return tuple(self._reports)
+        """All epoch reports published so far, with ``late_ratings``
+        restated to include late arrivals discovered after publication."""
+        return tuple(self._restated(report) for report in self._reports)
+
+    def late_ratings_by_epoch(self) -> Dict[int, int]:
+        """Late-arrival counts keyed by the epoch the rating landed in."""
+        return dict(self._late_by_epoch)
 
     def latest_scores(self) -> Mapping[str, float]:
         """The most recently published per-product scores ({} if none)."""

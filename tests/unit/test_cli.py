@@ -128,6 +128,118 @@ class TestDetectCommand:
         assert code == 2
 
 
+class TestObservabilityFlags:
+    @pytest.fixture()
+    def attacked_world(self, small_world, tmp_path):
+        """An attacked-world CSV: fair data plus one generated attack."""
+        from repro.marketplace.io import (
+            load_dataset_csv,
+            load_submission_json,
+            save_dataset_csv,
+        )
+
+        attack_path = tmp_path / "attack.json"
+        code = main(
+            [
+                "attack",
+                "--world", str(small_world),
+                "--target", "tv1:-1",
+                "--bias", "3.0",
+                "--std", "0.2",
+                "--n-ratings", "40",
+                "--window-start", "15",
+                "--window-days", "20",
+                "--out", str(attack_path),
+            ]
+        )
+        assert code == 0
+        merged = load_dataset_csv(small_world).merge(
+            load_submission_json(attack_path).as_dict()
+        )
+        out = tmp_path / "attacked.csv"
+        save_dataset_csv(merged, out)
+        return out, attack_path
+
+    def test_metrics_out_written(self, small_world, attacked_world, tmp_path,
+                                 capsys):
+        _, attack_path = attacked_world
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "evaluate",
+                "--world", str(small_world),
+                "--submission", str(attack_path),
+                "--scheme", "P",
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        assert "metrics written to" in capsys.readouterr().err
+        payload = json.loads(metrics_path.read_text())
+        counters = payload["counters"]
+        # The fair and attacked evaluations share untargeted streams, so
+        # the report cache must see both misses and hits.
+        assert counters["pscheme.report_cache.misses"] >= 1
+        assert counters["pscheme.report_cache.hits"] >= 1
+        histograms = payload["histograms"]
+        for kind in ("MC", "H-ARC", "L-ARC", "HC", "ME"):
+            assert histograms[f"detector.{kind}.seconds"]["sum"] > 0.0
+        for stage in ("detect", "trust", "aggregate"):
+            name = f"span.pscheme.monthly_scores.{stage}.seconds"
+            assert histograms[name]["count"] >= 1
+
+    def test_metrics_registry_restored_after_run(self, small_world, tmp_path):
+        from repro.obs import NULL_REGISTRY, get_registry
+
+        metrics_path = tmp_path / "m.json"
+        main(
+            ["detect", "--world", str(small_world), "--product", "tv1",
+             "--metrics-out", str(metrics_path)]
+        )
+        assert get_registry() is NULL_REGISTRY
+        assert metrics_path.exists()
+
+    def test_explain_table_matches_suspicious_count(self, attacked_world,
+                                                    capsys):
+        attacked_csv, _ = attacked_world
+        code = main(
+            ["detect", "--world", str(attacked_csv), "--product", "tv1",
+             "--explain"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        suspicious = int(out.split("suspicious ratings:")[1].split()[0])
+        assert suspicious > 0
+        lines = out.splitlines()
+        title_at = next(
+            i for i, line in enumerate(lines)
+            if line.startswith("Detection provenance for tv1")
+        )
+        body = [line for line in lines[title_at + 3:] if line.strip()]
+        assert len(body) == suspicious
+        # Every row names at least one path and one detector.
+        assert all("path" in line for line in body)
+
+    def test_explain_on_clean_product(self, small_world, capsys):
+        code = main(
+            ["detect", "--world", str(small_world), "--product", "tv2",
+             "--explain"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        if "suspicious ratings: 0" in out:
+            assert "nothing to explain" in out
+        else:
+            assert "Detection provenance for tv2" in out
+
+    def test_log_level_flag_accepted(self, small_world, capsys):
+        code = main(
+            ["detect", "--world", str(small_world), "--product", "tv1",
+             "--log-level", "INFO"]
+        )
+        assert code == 0
+
+
 class TestPopulationCommand:
     def test_leaderboard_printed(self, capsys):
         code = main(

@@ -39,12 +39,38 @@ class TestIngestion:
         assert [r.epoch_index for r in published] == [0, 1]
         assert system.current_epoch_start == 60.0
 
-    def test_late_rating_counted(self):
+    def test_late_rating_charged_to_landing_epoch(self):
         system = OnlineRatingSystem(SimpleAveragingScheme(), period_days=30.0)
         system.submit(make_rating(40.0, 4.0))  # closes epoch 0
-        system.submit(make_rating(10.0, 2.0))  # late for epoch 0
-        report = system.close_epoch()
-        assert report.late_ratings == 1
+        system.submit(make_rating(10.0, 2.0))  # late: lands in epoch 0
+        # The restated view charges the late arrival to epoch 0, where its
+        # timestamp lands -- not to the epoch accumulating when it arrived.
+        assert system.reports[0].late_ratings == 1
+        report = system.close_epoch()  # closes epoch 1
+        assert report.late_ratings == 0
+        assert system.late_ratings_by_epoch() == {0: 1}
+
+    def test_late_ratings_after_multi_epoch_skip(self):
+        system = OnlineRatingSystem(SimpleAveragingScheme(), period_days=30.0)
+        published = system.submit(make_rating(100.0, 4.0))  # closes 0, 1, 2
+        assert [r.epoch_index for r in published] == [0, 1, 2]
+        assert all(r.late_ratings == 0 for r in published)
+        system.submit(make_rating(40.0, 2.0))   # lands in epoch 1
+        system.submit(make_rating(70.0, 3.0))   # lands in epoch 2
+        system.submit(make_rating(75.0, 3.5))   # lands in epoch 2
+        restated = system.reports
+        assert [r.late_ratings for r in restated] == [0, 1, 2]
+        # Published snapshots are immutable; only the view is restated.
+        assert all(r.late_ratings == 0 for r in published)
+        assert system.late_ratings_by_epoch() == {1: 1, 2: 2}
+
+    def test_pre_start_late_rating_clamps_to_epoch_zero(self):
+        system = OnlineRatingSystem(
+            SimpleAveragingScheme(), start_day=0.0, period_days=30.0
+        )
+        system.submit(make_rating(35.0, 4.0))  # closes epoch 0
+        system.submit(make_rating(-5.0, 2.0))  # before the time origin
+        assert system.reports[0].late_ratings == 1
 
 
 class TestPublishing:
@@ -87,6 +113,44 @@ class TestPublishing:
         system.submit(make_rating(1.0, 3.0))
         system.close_epoch()
         assert system.latest_scores()["p"] == pytest.approx(3.0)
+
+
+class TestTelemetry:
+    def test_report_telemetry_fields(self):
+        system = OnlineRatingSystem(SimpleAveragingScheme(), period_days=30.0)
+        system.submit(make_rating(5.0, 4.0))
+        system.submit(make_rating(15.0, 3.0))
+        report = system.close_epoch()
+        telemetry = report.telemetry
+        assert telemetry["ratings_ingested"] == 2.0
+        assert telemetry["ingest_rate_per_day"] == pytest.approx(2.0 / 30.0)
+        assert telemetry["late_ratings_total"] == 0.0
+        assert telemetry["scheme_seconds"] >= 0.0
+
+    def test_telemetry_tracks_late_total(self):
+        system = OnlineRatingSystem(SimpleAveragingScheme(), period_days=30.0)
+        system.submit(make_rating(40.0, 4.0))   # closes epoch 0
+        system.submit(make_rating(10.0, 2.0))   # late
+        report = system.close_epoch()
+        assert report.telemetry["late_ratings_total"] == 1.0
+        # Both submits (including the late one) arrived during epoch 1.
+        assert report.telemetry["ratings_ingested"] == 2.0
+
+    def test_metrics_registry_collection(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        system = OnlineRatingSystem(
+            SimpleAveragingScheme(), period_days=30.0, registry=registry
+        )
+        system.submit(make_rating(5.0, 4.0))
+        system.submit(make_rating(40.0, 3.0))   # closes epoch 0
+        system.submit(make_rating(10.0, 2.0))   # late
+        assert registry.counter_value("online.ratings_ingested") == 3
+        assert registry.counter_value("online.late_ratings") == 1
+        assert registry.counter_value("online.epochs_closed") == 1
+        assert registry.histograms["online.scheme_seconds"].count == 1
+        assert registry.gauges["online.products"].value == 1.0
 
 
 class TestWithHistoryAndPScheme:
