@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-quick bench-baseline examples clean
+.PHONY: install test lint bench bench-quick bench-baseline bench-parallel examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -22,6 +22,9 @@ bench-quick:     ## reduced population for a fast pass
 
 bench-baseline:  ## headline MP bench with metrics on -> BENCH_obs_baseline.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_obs_baseline.py
+
+bench-parallel:  ## serial vs parallel vs warm-cache headline bench -> BENCH_parallel.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_parallel.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -1,0 +1,121 @@
+"""Parallel/caching benchmark: the headline comparison through repro.exec.
+
+Runs the E7 headline comparison (P vs SA vs BF over one challenge world
+and synthetic population) three ways --
+
+1. **serial**: a plain ``workers=0`` context (the pre-engine behaviour);
+2. **parallel, cold cache**: ``workers=N`` (default 4, override with
+   ``REPRO_WORKERS``) with an on-disk MP cache being written;
+3. **serial, warm cache**: a fresh context replaying every evaluation
+   from the disk cache written by pass 2;
+
+-- verifies all three produce **bit-identical** MP results, and writes
+timings plus speedup ratios to ``BENCH_parallel.json`` at the repo root.
+
+``parallel_speedup`` measures process fan-out and is bounded by the
+machine's core count (recorded as ``cpu_count`` -- on a single-core box
+expect ~1x); ``cache_speedup`` measures the content-addressed replay
+path and is hardware-independent.
+
+Population size defaults to 30 (a quick pass); set ``REPRO_POPULATION``
+to 251 for the full paper-scale run, matching the pytest benches.
+
+Usage::
+
+    make bench-parallel
+    # or
+    PYTHONPATH=src python benchmarks/bench_parallel.py [out.json]
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments import ExperimentContext, run_headline_comparison
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+SEED = 2008
+SCHEMES = ("P", "SA", "BF")
+
+
+def _run(population: int, workers: int = 0, cache_dir=None):
+    """One cold-context headline run; returns (seconds, context)."""
+    context = ExperimentContext(
+        seed=SEED,
+        population_size=population,
+        workers=workers,
+        cache_dir=cache_dir,
+    )
+    start = time.perf_counter()
+    comparison = run_headline_comparison(context)
+    seconds = time.perf_counter() - start
+    context.close()
+    return seconds, context, comparison
+
+
+def _identical(context_a, context_b) -> bool:
+    """Whether two contexts hold bit-identical MP results everywhere."""
+    for scheme in SCHEMES:
+        results_a = context_a.results_for(scheme)
+        results_b = context_b.results_for(scheme)
+        if set(results_a) != set(results_b):
+            return False
+        for sid, a in results_a.items():
+            b = results_b[sid]
+            if a.total != b.total or a.per_product != b.per_product:
+                return False
+            if set(a.deltas) != set(b.deltas):
+                return False
+            for pid in a.deltas:
+                if not np.array_equal(a.deltas[pid], b.deltas[pid]):
+                    return False
+    return True
+
+
+def main() -> int:
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_OUT
+    population = int(os.environ.get("REPRO_POPULATION", "30"))
+    workers = int(os.environ.get("REPRO_WORKERS", "4"))
+
+    serial_seconds, serial_ctx, serial_cmp = _run(population)
+
+    with tempfile.TemporaryDirectory(prefix="repro-mp-cache-") as cache_dir:
+        parallel_seconds, parallel_ctx, parallel_cmp = _run(
+            population, workers=workers, cache_dir=cache_dir
+        )
+        warm_seconds, warm_ctx, warm_cmp = _run(population, cache_dir=cache_dir)
+        identical_parallel = _identical(serial_ctx, parallel_ctx)
+        identical_warm = _identical(serial_ctx, warm_ctx)
+
+    payload = {
+        "benchmark": "headline_mp_comparison_parallel",
+        "population": population,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "parallel_speedup": (
+            serial_seconds / parallel_seconds if parallel_seconds else None
+        ),
+        "warm_cache_seconds": warm_seconds,
+        "cache_speedup": serial_seconds / warm_seconds if warm_seconds else None,
+        "identical_parallel": identical_parallel,
+        "identical_warm_cache": identical_warm,
+        "max_mp": serial_cmp.max_mp,
+    }
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwrote {out_path}")
+    if not (identical_parallel and identical_warm):
+        print("ERROR: parallel or cached results diverged from serial")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

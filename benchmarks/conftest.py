@@ -26,8 +26,16 @@ def _population_size() -> int:
 
 @pytest.fixture(scope="session")
 def context() -> ExperimentContext:
-    """The shared challenge world + population for all benches."""
-    return ExperimentContext(seed=2008, population_size=_population_size())
+    """The shared challenge world + population for all benches.
+
+    Set ``REPRO_WORKERS`` to evaluate the population across processes
+    (bit-identical results; see :mod:`repro.exec`).
+    """
+    return ExperimentContext(
+        seed=2008,
+        population_size=_population_size(),
+        workers=int(os.environ.get("REPRO_WORKERS", "0")),
+    )
 
 
 @pytest.fixture(scope="session")

@@ -92,6 +92,7 @@ def sweep_landscape(
     time_model: Optional[TimeModel] = None,
     targets: Optional[List[ProductTarget]] = None,
     seed: SeedLike = 0,
+    evaluator=None,
 ) -> MPLandscape:
     """Probe every (bias, sigma) grid point against ``scheme``.
 
@@ -101,6 +102,14 @@ def sweep_landscape(
     biases downgrade the downgrade-targets; the boost targets always
     receive the mirrored positive bias (the attack generator applies the
     target's direction to the magnitude).
+
+    With ``evaluator`` (a :class:`~repro.exec.ParallelEvaluator`), each
+    grid point becomes a :class:`~repro.exec.LandscapeProbeTask`: the
+    whole grid fans out in one dispatch with per-point derived seeds, so
+    the surface is identical at any worker count (though not to the
+    serial default path, whose probes share one RNG stream).  Requires a
+    seed-reconstructible challenge (``RatingChallenge(seed=...)``) and an
+    integer ``seed``.
     """
     if probes < 1:
         raise ValidationError(f"probes must be >= 1, got {probes}")
@@ -122,13 +131,46 @@ def sweep_landscape(
             ProductTarget(by_volume[2], +1),
             ProductTarget(by_volume[3], +1),
         ]
+    scheme_name = getattr(scheme, "name", type(scheme).__name__)
+    grid = np.zeros((bias_arr.size, std_arr.size))
+    if evaluator is not None:
+        from repro.exec import LandscapeProbeTask, share_challenge
+
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ValidationError(
+                "the evaluator path needs an integer seed to derive "
+                "per-point RNG streams from"
+            )
+        share_challenge(challenge)  # raises unless seed-reconstructible
+        tasks = [
+            LandscapeProbeTask(
+                challenge_seed=challenge.seed,
+                scheme_name=scheme_name,
+                bias=float(bias),
+                std=float(std),
+                probes=probes,
+                n_ratings=n_ratings,
+                time_model=time_model,
+                targets=tuple(targets),
+                seed_root=seed,
+            )
+            for bias in bias_arr
+            for std in std_arr
+        ]
+        values = evaluator.map(tasks)
+        grid[:] = np.asarray(values, dtype=float).reshape(grid.shape)
+        return MPLandscape(
+            scheme_name=scheme_name,
+            bias_values=bias_arr,
+            std_values=std_arr,
+            mp=grid,
+        )
     generator = AttackGenerator(
         challenge.fair_dataset,
         challenge.config.biased_rater_ids(),
         scale=challenge.config.scale,
         seed=seed,
     )
-    grid = np.zeros((bias_arr.size, std_arr.size))
     for i, bias in enumerate(bias_arr):
         for j, std in enumerate(std_arr):
             spec_proto = AttackSpec(
@@ -144,7 +186,7 @@ def sweep_landscape(
                 best = max(best, result.total)
             grid[i, j] = best
     return MPLandscape(
-        scheme_name=getattr(scheme, "name", type(scheme).__name__),
+        scheme_name=scheme_name,
         bias_values=bias_arr,
         std_values=std_arr,
         mp=grid,

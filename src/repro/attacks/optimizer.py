@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import AttackSpecError
 from repro.obs import get_logger
@@ -143,7 +143,7 @@ class RegionSearchResult:
 
 
 def heuristic_region_search(
-    evaluate: Callable[[float, float], float],
+    evaluate: Optional[Callable[[float, float], float]],
     initial_area: SearchArea,
     n_subareas: int = 4,
     probes_per_subarea: int = 10,
@@ -153,6 +153,10 @@ def heuristic_region_search(
     overlap: float = 0.25,
     final_probes: Optional[int] = None,
     registry: Optional[MetricsRegistry] = None,
+    probe_batch: Optional[
+        Callable[[Sequence[Tuple[float, float, int]]], List[float]]
+    ] = None,
+    memoize: bool = True,
 ) -> RegionSearchResult:
     """Run Procedure 2 over ``evaluate``.
 
@@ -168,15 +172,27 @@ def heuristic_region_search(
     keep drawing attacks from it, so the reported ``best_mp`` includes
     this exploitation phase.
 
+    Because subareas overlap, centre points can recur across rounds; with
+    ``memoize`` (default) each distinct ``(bias, std, probe count)``
+    request is evaluated once per search and replays afterwards (counted
+    as ``search.memo.hits``).  When ``probe_batch`` is given -- e.g. from
+    :func:`repro.exec.region_probe_batch` -- each round's un-memoized
+    requests are scored in one batched call, letting a parallel evaluator
+    fan the whole round out at once; ``evaluate`` may then be ``None``.
+
     Every probe (one MP evaluation) is counted and timed into the metrics
     ``registry`` (``search.probes``, ``search.probe_seconds``); ``None``
-    uses the globally active registry.
+    uses the globally active registry.  On the batched path timings and
+    MP observations are recorded per *request* rather than per probe.
     """
     probes_per_subarea = check_positive_int(probes_per_subarea, "probes_per_subarea")
     max_rounds = check_positive_int(max_rounds, "max_rounds")
+    if evaluate is None and probe_batch is None:
+        raise AttackSpecError("provide evaluate or probe_batch")
     if final_probes is None:
         final_probes = 2 * probes_per_subarea
     reg = registry if registry is not None else get_registry()
+    memo: Optional[Dict[Tuple[float, float, int], float]] = {} if memoize else None
 
     def probe(bias: float, std: float) -> float:
         start = perf_counter()
@@ -186,6 +202,40 @@ def heuristic_region_search(
         reg.observe("search.probe_mp", float(mp))
         return mp
 
+    def score_points(requests: List[Tuple[float, float, int]]) -> List[float]:
+        """Subarea scores for ``(bias, std, count)`` requests.
+
+        Memoized requests replay instantly; the rest go through the
+        batched prober (whole round in one evaluator dispatch) or the
+        serial ``probe`` loop.  Both paths compute ``max`` over ``count``
+        fresh attacks, so the memo only elides *repeated* work.
+        """
+        scores: List[float] = [0.0] * len(requests)
+        pending: List[int] = []
+        for i, request in enumerate(requests):
+            if memo is not None and request in memo:
+                scores[i] = memo[request]
+                reg.inc("search.memo.hits")
+            else:
+                pending.append(i)
+        if pending and probe_batch is not None:
+            start = perf_counter()
+            values = probe_batch([requests[i] for i in pending])
+            elapsed = perf_counter() - start
+            for i, value in zip(pending, values):
+                reg.inc("search.probes", requests[i][2])
+                reg.observe("search.probe_seconds", elapsed / len(pending))
+                reg.observe("search.probe_mp", float(value))
+                scores[i] = float(value)
+        elif pending:
+            for i in pending:
+                bias, std, count = requests[i]
+                scores[i] = float(max(probe(bias, std) for _ in range(count)))
+        if memo is not None:
+            for i in pending:
+                memo[requests[i]] = scores[i]
+        return scores
+
     area = initial_area
     rounds: List[SearchRound] = []
     best_mp = float("-inf")
@@ -193,11 +243,9 @@ def heuristic_region_search(
         if area.smaller_than(min_bias_width, min_std_width):
             break
         subareas = area.subdivide(n_subareas, overlap=overlap)
-        scores: List[float] = []
-        for sub in subareas:
-            bias, std = sub.center
-            score = max(probe(bias, std) for _ in range(probes_per_subarea))
-            scores.append(float(score))
+        scores = score_points(
+            [(*sub.center, probes_per_subarea) for sub in subareas]
+        )
         best_index = int(max(range(len(scores)), key=scores.__getitem__))
         rounds.append(
             SearchRound(
@@ -215,13 +263,11 @@ def heuristic_region_search(
             len(rounds), scores[best_index], *area.center,
         )
     if final_probes > 0:
-        bias, std = area.center
-        exploitation = max(probe(bias, std) for _ in range(final_probes))
+        exploitation = score_points([(*area.center, final_probes)])[0]
         best_mp = max(best_mp, float(exploitation))
     if best_mp == float("-inf"):
         # No rounds ran and no final probes were requested: probe once.
-        bias, std = area.center
-        best_mp = max(probe(bias, std) for _ in range(probes_per_subarea))
+        best_mp = score_points([(*area.center, probes_per_subarea)])[0]
     reg.set_gauge("search.best_mp", float(best_mp))
     return RegionSearchResult(
         rounds=tuple(rounds), final_area=area, best_mp=float(best_mp)

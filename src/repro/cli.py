@@ -20,7 +20,11 @@ one product (``--explain`` adds the per-rating provenance table);
 Every command accepts ``--seed`` for reproducibility, plus the global
 observability flags ``--log-level LEVEL`` (structured logs to stderr) and
 ``--metrics-out PATH`` (collect pipeline metrics for the invocation and
-write them as JSON).  Exit status is 0 on success, 2 on argument errors.
+write them as JSON).  The scaling globals ``--workers N`` and
+``--cache-dir DIR`` route ``population``/``search``/``sensitivity``
+through the :mod:`repro.exec` engine: evaluations fan out over ``N``
+processes (bit-identical to serial) and/or replay from a persistent MP
+cache.  Exit status is 0 on success, 2 on argument errors.
 """
 
 from __future__ import annotations
@@ -94,6 +98,17 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--metrics-out", default=None, metavar="PATH",
         help="collect pipeline metrics and write them to PATH as JSON",
+    )
+    common.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker processes for parallelizable commands "
+             "(population/search/sensitivity); 0 = serial (default). "
+             "Results are bit-identical at any worker count.",
+    )
+    common.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent MP-evaluation cache directory; repeated runs "
+             "replay cached evaluations instead of recomputing them",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -296,12 +311,36 @@ def _cmd_detect(args) -> int:
 
 
 def _cmd_population(args) -> int:
-    challenge = RatingChallenge(seed=args.seed)
-    population = generate_population(
-        challenge, PopulationConfig(size=args.size), seed=args.seed + 1
-    )
-    scheme = _make_scheme(args.scheme)
-    board = challenge.leaderboard(population, scheme, validate=False)
+    if args.workers > 0 or args.cache_dir:
+        # Route through the execution engine (bit-identical to the
+        # serial path below; the context builds the same world/population).
+        from repro.experiments.context import ExperimentContext
+
+        context = ExperimentContext(
+            seed=args.seed,
+            population_size=args.size,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+        )
+        try:
+            results = context.results_for(args.scheme)
+            challenge = context.challenge
+            population = context.population
+            board = challenge.leaderboard(
+                population,
+                context.scheme(args.scheme),
+                validate=False,
+                results=[results[s.submission_id] for s in population],
+            )
+        finally:
+            context.close()
+    else:
+        challenge = RatingChallenge(seed=args.seed)
+        population = generate_population(
+            challenge, PopulationConfig(size=args.size), seed=args.seed + 1
+        )
+        scheme = _make_scheme(args.scheme)
+        board = challenge.leaderboard(population, scheme, validate=False)
     rows = [
         (entry.rank, entry.submission_id, entry.strategy, entry.total_mp)
         for entry in board[: args.top]
@@ -328,17 +367,43 @@ def _cmd_search(args) -> int:
         ProductTarget(by_volume[2], +1),
         ProductTarget(by_volume[3], +1),
     ]
-    generator = AttackGenerator(
-        challenge.fair_dataset, challenge.config.biased_rater_ids(),
-        seed=args.seed + 5,
-    )
-    evaluate = generator.evaluator(targets, challenge, _make_scheme(args.scheme))
-    result = heuristic_region_search(
-        evaluate,
-        SearchArea(bias_min=-4.0, bias_max=0.0, std_min=0.0, std_max=2.0),
-        n_subareas=args.subareas,
-        probes_per_subarea=args.probes,
-    )
+    area = SearchArea(bias_min=-4.0, bias_max=0.0, std_min=0.0, std_max=2.0)
+    if args.workers > 0 or args.cache_dir:
+        from repro.exec import (
+            MPCache,
+            ParallelEvaluator,
+            region_probe_batch,
+            share_challenge,
+        )
+
+        share_challenge(challenge)
+        cache = MPCache(cache_dir=args.cache_dir) if args.cache_dir else None
+        with ParallelEvaluator(workers=args.workers, cache=cache) as evaluator:
+            result = heuristic_region_search(
+                None,
+                area,
+                n_subareas=args.subareas,
+                probes_per_subarea=args.probes,
+                probe_batch=region_probe_batch(
+                    evaluator,
+                    challenge_seed=args.seed,
+                    scheme_name=args.scheme,
+                    targets=targets,
+                    seed_root=args.seed + 5,
+                ),
+            )
+    else:
+        generator = AttackGenerator(
+            challenge.fair_dataset, challenge.config.biased_rater_ids(),
+            seed=args.seed + 5,
+        )
+        evaluate = generator.evaluator(targets, challenge, _make_scheme(args.scheme))
+        result = heuristic_region_search(
+            evaluate,
+            area,
+            n_subareas=args.subareas,
+            probes_per_subarea=args.probes,
+        )
     rows = []
     for i, round_ in enumerate(result.rounds):
         bias, std = round_.best_subarea.center
@@ -367,13 +432,27 @@ def _cmd_ablation(args) -> int:
 def _cmd_sensitivity(args) -> int:
     from repro.experiments.sensitivity import sweep_detector_parameter
 
-    result = sweep_detector_parameter(
-        args.parameter,
-        args.values,
-        n_fair_worlds=args.fair_worlds,
-        n_attacks=args.attacks,
-        seed=args.seed,
-    )
+    if args.workers > 0 or args.cache_dir:
+        from repro.exec import MPCache, ParallelEvaluator
+
+        cache = MPCache(cache_dir=args.cache_dir) if args.cache_dir else None
+        with ParallelEvaluator(workers=args.workers, cache=cache) as evaluator:
+            result = sweep_detector_parameter(
+                args.parameter,
+                args.values,
+                n_fair_worlds=args.fair_worlds,
+                n_attacks=args.attacks,
+                seed=args.seed,
+                evaluator=evaluator,
+            )
+    else:
+        result = sweep_detector_parameter(
+            args.parameter,
+            args.values,
+            n_fair_worlds=args.fair_worlds,
+            n_attacks=args.attacks,
+            seed=args.seed,
+        )
     print(result.to_text())
     return 0
 

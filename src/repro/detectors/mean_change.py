@@ -92,10 +92,20 @@ class MeanChangeDetector:
         bounds = segment_bounds_from_peaks(n, peaks)
         if trust_lookup is None:
             trust_lookup = lambda rater_id: 0.5  # noqa: E731 - local default
-        segment_trust: List[float] = []
-        for start, stop in bounds:
-            trusts = [trust_lookup(r) for r in stream.rater_ids[start:stop]]
-            segment_trust.append(float(np.mean(trusts)) if trusts else 0.5)
+        # One trust lookup per *unique* rater, expanded back to a
+        # per-rating vector; segments then reduce to slice means instead
+        # of re-querying the lookup rating by rating.
+        unique_ids, inverse = np.unique(
+            np.asarray(stream.rater_ids), return_inverse=True
+        )
+        unique_trust = np.array(
+            [trust_lookup(str(r)) for r in unique_ids], dtype=float
+        )
+        per_rating = unique_trust[inverse]
+        segment_trust: List[float] = [
+            float(per_rating[start:stop].mean()) if stop > start else 0.5
+            for start, stop in bounds
+        ]
         trust_avg = float(np.mean(segment_trust)) if segment_trust else 0.5
         intervals: List[TimeInterval] = []
         for (start, stop), t_j in zip(bounds, segment_trust):

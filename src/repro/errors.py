@@ -16,6 +16,7 @@ __all__ = [
     "DetectorError",
     "AggregationError",
     "AttackSpecError",
+    "ExecutionError",
 ]
 
 
@@ -50,3 +51,7 @@ class AggregationError(ReproError):
 
 class AttackSpecError(ValidationError):
     """An attack specification is inconsistent or out of range."""
+
+
+class ExecutionError(ReproError):
+    """A parallel evaluation task failed inside the execution engine."""

@@ -1,0 +1,48 @@
+"""Deterministic parallel evaluation engine with a content-addressed cache.
+
+``repro.exec`` turns the repo's embarrassingly parallel workloads (the
+Fig 2-4 MP surfaces, the E7 headline comparison, Procedure 2 region
+search, the landscape heatmap, sensitivity sweeps) into pickleable
+:class:`~repro.exec.tasks.EvalTask` units dispatched by a
+:class:`~repro.exec.parallel.ParallelEvaluator`.  Results are
+bit-identical serial vs parallel because every task derives its
+randomness from a stable hash of its own identity
+(:func:`~repro.exec.hashing.derive_seed`), and repeated work is elided
+by the fingerprint-keyed :class:`~repro.exec.cache.MPCache`.
+"""
+
+from repro.exec.cache import MPCache
+from repro.exec.hashing import canonical_bytes, derive_seed, stable_fingerprint
+from repro.exec.parallel import ParallelEvaluator
+from repro.exec.tasks import (
+    EvalTask,
+    LandscapeProbeTask,
+    PopulationEvalTask,
+    RegionProbeTask,
+    SensitivityTask,
+    get_shared_challenge,
+    get_shared_context,
+    get_shared_scheme,
+    region_probe_batch,
+    share_challenge,
+    share_context,
+)
+
+__all__ = [
+    "MPCache",
+    "ParallelEvaluator",
+    "EvalTask",
+    "PopulationEvalTask",
+    "RegionProbeTask",
+    "LandscapeProbeTask",
+    "SensitivityTask",
+    "canonical_bytes",
+    "stable_fingerprint",
+    "derive_seed",
+    "share_context",
+    "get_shared_context",
+    "share_challenge",
+    "get_shared_challenge",
+    "get_shared_scheme",
+    "region_probe_batch",
+]

@@ -1,0 +1,122 @@
+"""Content-addressed memoization of MP evaluations.
+
+Every :class:`~repro.exec.tasks.EvalTask` has a stable fingerprint
+(:func:`~repro.exec.hashing.stable_fingerprint`), so an evaluation's
+result can be reused whenever the *same logical work* comes up again:
+the Procedure 2 optimizer re-probing an overlapping subarea centre, a
+sensitivity sweep re-running with one threshold changed, or a benchmark
+repeated across processes.
+
+Two layers:
+
+- **in-memory** -- a plain dict, always on;
+- **on-disk** (optional) -- one pickle file per entry named by the
+  fingerprint, so a ``cache_dir`` shared between runs (or between the
+  pool's workers and the parent) turns repeated sweeps into reads.
+
+Writes go through a temp file + :func:`os.replace` so concurrent
+writers (pool workers, parallel benches) can never leave a torn entry;
+unreadable entries are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+__all__ = ["MPCache"]
+
+
+class MPCache:
+    """In-memory + optional on-disk store keyed by task fingerprints.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for persistent entries (created if missing); ``None``
+        keeps the cache purely in-memory.
+    registry:
+        Metrics sink for hit/miss counters; ``None`` uses the globally
+        active registry at call time.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[os.PathLike] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._memory: dict = {}
+        self._dir: Optional[Path] = None
+        self._registry = registry
+        if cache_dir is not None:
+            self._dir = Path(cache_dir)
+            self._dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics sink (the global one unless injected)."""
+        return self._registry if self._registry is not None else get_registry()
+
+    @property
+    def cache_dir(self) -> Optional[Path]:
+        """The persistence directory, or ``None`` for memory-only."""
+        return self._dir
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _path(self, key: str) -> Path:
+        assert self._dir is not None
+        return self._dir / f"{key}.pkl"
+
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)`` for ``key``; counts the outcome in metrics."""
+        if key in self._memory:
+            self.registry.inc("exec.cache.hits")
+            return True, self._memory[key]
+        if self._dir is not None:
+            path = self._path(key)
+            try:
+                with open(path, "rb") as handle:
+                    value = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+                pass  # missing or torn entry: a miss
+            else:
+                self._memory[key] = value
+                self.registry.inc("exec.cache.hits")
+                self.registry.inc("exec.cache.disk_hits")
+                return True, value
+        self.registry.inc("exec.cache.misses")
+        return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (memory, plus disk when enabled)."""
+        self._memory[key] = value
+        self.registry.inc("exec.cache.puts")
+        if self._dir is None:
+            return
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            # Persistence is best-effort; the in-memory entry stands.
+            self.registry.inc("exec.cache.write_errors")
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (disk entries survive)."""
+        self._memory.clear()

@@ -1,0 +1,116 @@
+"""Stable fingerprints and seed derivation for the execution engine.
+
+Deterministic fan-out needs two properties Python's built-in ``hash``
+does not provide: stability across interpreter launches (``str`` hashing
+is salted per process) and stability across *where* a task runs (inline
+loop, chunked pool worker, resumed sweep).  This module canonicalises a
+task description into bytes and digests it with BLAKE2b, so that
+
+- the same logical evaluation always maps to the same cache key, and
+- a per-task RNG seed derived from ``(root_seed, task description)`` is
+  identical no matter which process draws it or in what order.
+
+Only *value-like* inputs are encodable: ``None``, bools, ints, floats,
+strings, bytes, numpy arrays, (frozen) dataclasses, and containers of
+those.  Arbitrary objects are rejected loudly -- a silently unstable key
+is the one bug a cache must never have.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import struct
+from typing import Any, List
+
+import numpy as np
+
+__all__ = ["canonical_bytes", "stable_fingerprint", "derive_seed"]
+
+#: Seeds are reduced into numpy's comfortable non-negative int64 range.
+_SEED_SPACE = 2**63
+
+
+def _encode(obj: Any, out: List[bytes]) -> None:
+    """Append a type-tagged canonical encoding of ``obj`` to ``out``."""
+    if obj is None:
+        out.append(b"N;")
+    elif isinstance(obj, (bool, np.bool_)):
+        out.append(b"B1;" if obj else b"B0;")
+    elif isinstance(obj, (int, np.integer)):
+        out.append(b"I" + str(int(obj)).encode("ascii") + b";")
+    elif isinstance(obj, (float, np.floating)):
+        # IEEE-754 bytes: exact, repr-independent, and NaN-safe.
+        out.append(b"F" + struct.pack("!d", float(obj)) + b";")
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+        out.append(b"S" + str(len(data)).encode("ascii") + b":" + data + b";")
+    elif isinstance(obj, bytes):
+        out.append(b"Y" + str(len(obj)).encode("ascii") + b":" + obj + b";")
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        head = f"A{arr.dtype.str}{arr.shape}:".encode("ascii")
+        out.append(head + arr.tobytes() + b";")
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out.append(b"D" + type(obj).__qualname__.encode("utf-8") + b"(")
+        for field in dataclasses.fields(obj):
+            _encode(field.name, out)
+            _encode(getattr(obj, field.name), out)
+        out.append(b")")
+    elif isinstance(obj, (list, tuple)):
+        out.append(b"L(")
+        for item in obj:
+            _encode(item, out)
+        out.append(b")")
+    elif isinstance(obj, (set, frozenset)):
+        out.append(b"E(")
+        encoded = []
+        for item in obj:
+            chunk: List[bytes] = []
+            _encode(item, chunk)
+            encoded.append(b"".join(chunk))
+        out.extend(sorted(encoded))
+        out.append(b")")
+    elif isinstance(obj, dict):
+        out.append(b"M(")
+        for key in sorted(obj, key=repr):
+            _encode(key, out)
+            _encode(obj[key], out)
+        out.append(b")")
+    else:
+        raise TypeError(
+            f"cannot canonically encode {type(obj).__name__!r}; task fields "
+            "must be value-like (None/bool/int/float/str/bytes/ndarray/"
+            "dataclass/container)"
+        )
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """The canonical byte encoding of ``obj`` (stable across processes)."""
+    out: List[bytes] = []
+    _encode(obj, out)
+    return b"".join(out)
+
+
+def stable_fingerprint(obj: Any) -> str:
+    """A short hex digest identifying ``obj`` by *content*.
+
+    Equal values (same dataclass type, same field values) share the
+    fingerprint; any differing field changes it.  Safe as a cache key
+    and as a filename.
+    """
+    return hashlib.blake2b(canonical_bytes(obj), digest_size=16).hexdigest()
+
+
+def derive_seed(root_seed: int, *parts: Any) -> int:
+    """A deterministic child seed for ``(root_seed, *parts)``.
+
+    The derivation hashes the canonical encoding, so the seed depends
+    only on the logical identity of the work unit -- never on dispatch
+    order, chunking, or which process runs it.  This is what makes
+    serial and parallel sweeps bit-identical.
+    """
+    digest = hashlib.blake2b(
+        canonical_bytes((int(root_seed),) + parts), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") % _SEED_SPACE

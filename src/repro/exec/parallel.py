@@ -1,0 +1,235 @@
+"""Chunked, cache-aware, deterministic dispatch of :class:`EvalTask`\\ s.
+
+:class:`ParallelEvaluator` is the one entry point: give it a list of
+tasks and it returns their results *in task order*, bit-identical
+whether ``workers=0`` (inline), the tasks ran chunked across a
+:class:`~concurrent.futures.ProcessPoolExecutor`, or some results came
+out of the :class:`~repro.exec.cache.MPCache`.  Determinism holds
+because tasks derive all randomness from their own identity
+(:mod:`repro.exec.tasks`) -- the evaluator never has to care about
+scheduling order.
+
+Operational behaviour:
+
+- **Serial fallback.**  ``workers=0``, a single pending task, or any
+  platform where the pool cannot start (sandboxes without fork/spawn)
+  all run inline; a failed pool degrades to inline mid-flight instead
+  of failing the sweep.
+- **Fork-friendly.**  The pool starts lazily at the first ``map`` call
+  and prefers the ``fork`` start method, so workers inherit whatever
+  worlds the parent already built (see
+  :func:`~repro.exec.tasks.share_context`).
+- **Observable.**  Per-task wall time (measured inside the worker) and
+  task/failure/chunk counts land in the active metrics registry under
+  ``exec.*``, alongside the cache's hit/miss counters.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from time import perf_counter
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.exec.cache import MPCache
+from repro.exec.tasks import EvalTask
+from repro.obs import get_logger
+from repro.obs.registry import MetricsRegistry, get_registry
+
+__all__ = ["ParallelEvaluator"]
+
+logger = get_logger(__name__)
+
+#: Upper bound on tasks per chunk; keeps pool heartbeat and timing
+#: granularity reasonable even for huge sweeps.
+_CHUNK_CAP = 32
+
+
+def _run_task_timed(task: EvalTask) -> Tuple[Any, float, Optional[str]]:
+    """``(value, seconds, error)`` for one task; never raises."""
+    start = perf_counter()
+    try:
+        value = task.run()
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        return None, perf_counter() - start, f"{type(exc).__name__}: {exc}"
+    return value, perf_counter() - start, None
+
+
+def _run_chunk(tasks: Sequence[EvalTask]) -> List[Tuple[Any, float, Optional[str]]]:
+    """Worker-side entry point: run one chunk, returning timed outcomes."""
+    return [_run_task_timed(task) for task in tasks]
+
+
+class ParallelEvaluator:
+    """Maps :class:`EvalTask`\\ s to results, optionally across processes.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``0`` (default) runs every task inline.
+    cache:
+        Optional :class:`MPCache`; hits skip execution entirely and the
+        evaluator guarantees a hit returns the same value a cold run
+        would have produced (task results are pure functions of the
+        task).
+    registry:
+        Metrics sink; ``None`` uses the globally active registry.
+    chunksize:
+        Tasks per pool submission; default balances load as
+        ``min(32, ceil(pending / (4 * workers)))``.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        cache: Optional[MPCache] = None,
+        registry: Optional[MetricsRegistry] = None,
+        chunksize: Optional[int] = None,
+    ) -> None:
+        self.workers = max(0, int(workers))
+        self.cache = cache
+        self.chunksize = chunksize
+        self._registry = registry
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_broken = False
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics sink (the global one unless injected)."""
+        return self._registry if self._registry is not None else get_registry()
+
+    def close(self) -> None:
+        """Shut down the worker pool (the evaluator stays usable inline)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        """The lazily created pool, or ``None`` when unavailable."""
+        if self._pool is None and not self._pool_broken:
+            try:
+                import multiprocessing
+
+                kwargs = {"max_workers": self.workers}
+                # Prefer fork so workers inherit shared worlds built by
+                # the parent (zero per-worker rebuild cost on Linux).
+                if "fork" in multiprocessing.get_all_start_methods():
+                    kwargs["mp_context"] = multiprocessing.get_context("fork")
+                self._pool = ProcessPoolExecutor(**kwargs)
+            except (OSError, ValueError, RuntimeError, ImportError) as exc:
+                logger.warning(
+                    "process pool unavailable (%s); running serially", exc
+                )
+                self.registry.inc("exec.pool_fallbacks")
+                self._pool_broken = True
+        return self._pool
+
+    # ------------------------------------------------------------------ #
+
+    def _record(self, seconds: float, error: Optional[str], index: int) -> Any:
+        reg = self.registry
+        reg.inc("exec.tasks")
+        reg.observe("exec.task_seconds", seconds)
+        if error is not None:
+            reg.inc("exec.failures")
+            raise ExecutionError(f"evaluation task #{index} failed: {error}")
+
+    def map(self, tasks: Sequence[EvalTask]) -> List[Any]:
+        """Results of ``tasks``, in order; cache-aware and chunk-parallel."""
+        tasks = list(tasks)
+        results: List[Any] = [None] * len(tasks)
+        keys: List[Optional[str]] = [None] * len(tasks)
+        pending: List[int] = []
+        for i, task in enumerate(tasks):
+            if self.cache is not None:
+                keys[i] = task.fingerprint
+                hit, value = self.cache.get(keys[i])
+                if hit:
+                    results[i] = value
+                    continue
+            pending.append(i)
+        # With a cache, duplicate tasks within one batch collapse onto a
+        # single execution; the copies are filled in afterwards.
+        duplicates: List[int] = []
+        if self.cache is not None:
+            first_for_key: dict = {}
+            unique_pending: List[int] = []
+            for i in pending:
+                if keys[i] in first_for_key:
+                    duplicates.append(i)
+                else:
+                    first_for_key[keys[i]] = i
+                    unique_pending.append(i)
+            pending = unique_pending
+        if not pending and not duplicates:
+            return results
+        self.registry.set_gauge("exec.workers", float(self.workers))
+        pool = (
+            self._ensure_pool()
+            if self.workers > 0 and len(pending) > 1
+            else None
+        )
+        if pool is not None:
+            self._map_pool(pool, tasks, pending, results)
+        else:
+            for i in pending:
+                value, seconds, error = _run_task_timed(tasks[i])
+                self._record(seconds, error, i)
+                results[i] = value
+                if self.cache is not None:
+                    self.cache.put(keys[i], value)
+        if self.cache is not None and pool is not None:
+            for i in pending:
+                self.cache.put(keys[i], results[i])
+        for i in duplicates:
+            results[i] = results[first_for_key[keys[i]]]
+        return results
+
+    def _map_pool(
+        self,
+        pool: ProcessPoolExecutor,
+        tasks: List[EvalTask],
+        pending: List[int],
+        results: List[Any],
+    ) -> None:
+        chunksize = self.chunksize or max(
+            1, min(_CHUNK_CAP, math.ceil(len(pending) / (4 * self.workers)))
+        )
+        chunks = [
+            pending[offset : offset + chunksize]
+            for offset in range(0, len(pending), chunksize)
+        ]
+        self.registry.inc("exec.chunks", len(chunks))
+        futures = [
+            pool.submit(_run_chunk, [tasks[i] for i in chunk]) for chunk in chunks
+        ]
+        degraded = False
+        for chunk, future in zip(chunks, futures):
+            if degraded:
+                outcomes = _run_chunk([tasks[i] for i in chunk])
+            else:
+                try:
+                    outcomes = future.result()
+                except Exception as exc:  # pool died (e.g. OOM-killed worker)
+                    logger.warning(
+                        "process pool failed mid-run (%s); finishing serially",
+                        exc,
+                    )
+                    self.registry.inc("exec.pool_fallbacks")
+                    self._pool_broken = True
+                    degraded = True
+                    outcomes = _run_chunk([tasks[i] for i in chunk])
+            for i, (value, seconds, error) in zip(chunk, outcomes):
+                self._record(seconds, error, i)
+                results[i] = value
+        if degraded:
+            self.close()

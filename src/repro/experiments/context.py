@@ -16,6 +16,7 @@ from repro.aggregation import BetaFilterScheme, PScheme, SimpleAveragingScheme
 from repro.attacks.base import AttackSubmission
 from repro.attacks.population import PopulationConfig, generate_population
 from repro.errors import ValidationError
+from repro.exec import MPCache, ParallelEvaluator, PopulationEvalTask, share_context
 from repro.marketplace.challenge import RatingChallenge
 from repro.marketplace.mp import MPResult
 
@@ -35,10 +36,19 @@ class ExperimentContext:
     population_size:
         Number of synthetic challenge submissions (251 reproduces the
         paper; tests use smaller populations).
+    workers:
+        Worker processes for population evaluation; ``0`` (default)
+        evaluates inline.  Parallel results are bit-identical to serial
+        ones (see :mod:`repro.exec`).
+    cache_dir:
+        Optional directory for the persistent MP cache; re-running the
+        same experiment turns evaluations into disk reads.
     """
 
     seed: int = 2008
     population_size: int = 251
+    workers: int = 0
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.population_size < 1:
@@ -49,6 +59,7 @@ class ExperimentContext:
         self._population: Optional[List[AttackSubmission]] = None
         self._schemes: Dict[str, object] = {}
         self._results: Dict[str, Dict[str, MPResult]] = {}
+        self._evaluator: Optional[ParallelEvaluator] = None
 
     # ------------------------------------------------------------------ #
 
@@ -83,16 +94,44 @@ class ExperimentContext:
 
     # ------------------------------------------------------------------ #
 
+    @property
+    def evaluator(self) -> ParallelEvaluator:
+        """The task evaluator backing :meth:`results_for` (built lazily)."""
+        if self._evaluator is None:
+            cache = MPCache(cache_dir=self.cache_dir) if self.cache_dir else None
+            self._evaluator = ParallelEvaluator(workers=self.workers, cache=cache)
+        return self._evaluator
+
+    def close(self) -> None:
+        """Release the evaluator's worker pool, if one was started."""
+        if self._evaluator is not None:
+            self._evaluator.close()
+
     def results_for(self, scheme_name: str) -> Dict[str, MPResult]:
-        """MP results of the whole population under one scheme (cached)."""
+        """MP results of the whole population under one scheme (cached).
+
+        Each submission is one :class:`~repro.exec.tasks.PopulationEvalTask`;
+        with ``workers > 0`` the population fans out across processes, and
+        with ``cache_dir`` set repeated runs replay from disk.  Either way
+        the values are bit-identical to the plain serial loop.
+        """
         if scheme_name not in self._results:
-            scheme = self.scheme(scheme_name)
-            challenge = self.challenge
-            self._results[scheme_name] = {
-                submission.submission_id: challenge.evaluate(
-                    submission, scheme, validate=False
+            self.scheme(scheme_name)  # validates the name eagerly
+            population = self.population  # build world before forking
+            share_context(self)
+            tasks = [
+                PopulationEvalTask(
+                    root_seed=self.seed,
+                    population_size=self.population_size,
+                    scheme_name=scheme_name,
+                    index=index,
                 )
-                for submission in self.population
+                for index in range(len(population))
+            ]
+            values = self.evaluator.map(tasks)
+            self._results[scheme_name] = {
+                submission.submission_id: value
+                for submission, value in zip(population, values)
             }
         return self._results[scheme_name]
 

@@ -18,7 +18,7 @@ P-scheme to a rating site with different fair-traffic statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -32,7 +32,12 @@ from repro.errors import ValidationError
 from repro.marketplace.challenge import RatingChallenge
 from repro.marketplace.fair_ratings import FairRatingGenerator
 
-__all__ = ["OperatingPoint", "SensitivityResult", "sweep_detector_parameter"]
+__all__ = [
+    "OperatingPoint",
+    "SensitivityResult",
+    "measure_operating_point",
+    "sweep_detector_parameter",
+]
 
 
 @dataclass(frozen=True)
@@ -101,33 +106,35 @@ def _measure(
     return false_alarm, float(np.mean(recalls)), float(np.mean(collaterals))
 
 
-def sweep_detector_parameter(
-    parameter: str,
-    values: Sequence[float],
-    n_fair_worlds: int = 2,
-    n_attacks: int = 3,
-    attack_bias: float = 2.2,
-    attack_std: float = 0.4,
-    attack_ratings: int = 40,
-    attack_duration: float = 30.0,
-    seed: int = 0,
-) -> SensitivityResult:
-    """Sweep ``parameter`` over ``values`` and measure the trade-off.
+#: Process-local cache of sweep fixtures (fair worlds + attacked
+#: streams), keyed by the parameters that determine them.  One sweep's
+#: values share fixtures (as the old inline construction did), and fork
+#: pool workers measuring different values of the same sweep reuse the
+#: parent's copy instead of regenerating the worlds per task.
+_FIXTURES: Dict[tuple, tuple] = {}
 
-    ``parameter`` must be a field of :class:`DetectorConfig`.  Fair worlds
-    and attacks are regenerated deterministically from ``seed`` so sweeps
-    are comparable across parameters.  The default attack is deliberately
-    *marginal* (medium bias, ~1.3 unfair ratings/day): a blatant attack is
-    caught at any sane threshold and flattens the curve, while the
-    marginal attack exposes where detection actually starts to fail.
-    """
-    if not values:
-        raise ValidationError("values must be non-empty")
-    base = DetectorConfig()
-    if not hasattr(base, parameter):
-        raise ValidationError(
-            f"{parameter!r} is not a DetectorConfig field"
-        )
+
+def _sweep_fixtures(
+    n_fair_worlds: int,
+    n_attacks: int,
+    attack_bias: float,
+    attack_std: float,
+    attack_ratings: int,
+    attack_duration: float,
+    seed: int,
+) -> tuple:
+    key = (
+        int(n_fair_worlds),
+        int(n_attacks),
+        float(attack_bias),
+        float(attack_std),
+        int(attack_ratings),
+        float(attack_duration),
+        int(seed),
+    )
+    cached = _FIXTURES.get(key)
+    if cached is not None:
+        return cached
     fair_datasets = [
         FairRatingGenerator(seed=seed + i).generate() for i in range(n_fair_worlds)
     ]
@@ -150,18 +157,119 @@ def sweep_detector_parameter(
         )
         attacked = challenge.fair_dataset.merge(submission.as_dict())
         attacked_cases.append(attacked[pid])
-    points = []
-    for value in values:
-        config = replace(base, **{parameter: value})
-        false_alarm, recall, collateral = _measure(
-            config, fair_datasets, attacked_cases
+    _FIXTURES[key] = (fair_datasets, attacked_cases)
+    return _FIXTURES[key]
+
+
+def measure_operating_point(
+    parameter: str,
+    value: float,
+    n_fair_worlds: int = 2,
+    n_attacks: int = 3,
+    attack_bias: float = 2.2,
+    attack_std: float = 0.4,
+    attack_ratings: int = 40,
+    attack_duration: float = 30.0,
+    seed: int = 0,
+) -> OperatingPoint:
+    """Measure one :class:`OperatingPoint` at ``parameter=value``.
+
+    A pure function of its arguments: fixtures regenerate
+    deterministically from ``seed`` (and are cached per process), so a
+    point measured inline, in a pool worker, or replayed from the MP
+    cache is identical.  This is the work unit behind
+    :class:`~repro.exec.SensitivityTask`.
+    """
+    base = DetectorConfig()
+    if not hasattr(base, parameter):
+        raise ValidationError(
+            f"{parameter!r} is not a DetectorConfig field"
         )
-        points.append(
-            OperatingPoint(
-                value=float(value),
-                false_alarm_rate=false_alarm,
-                recall=recall,
-                collateral=collateral,
+    fair_datasets, attacked_cases = _sweep_fixtures(
+        n_fair_worlds, n_attacks, attack_bias, attack_std,
+        attack_ratings, attack_duration, seed,
+    )
+    config = replace(base, **{parameter: value})
+    false_alarm, recall, collateral = _measure(
+        config, fair_datasets, attacked_cases
+    )
+    return OperatingPoint(
+        value=float(value),
+        false_alarm_rate=false_alarm,
+        recall=recall,
+        collateral=collateral,
+    )
+
+
+def sweep_detector_parameter(
+    parameter: str,
+    values: Sequence[float],
+    n_fair_worlds: int = 2,
+    n_attacks: int = 3,
+    attack_bias: float = 2.2,
+    attack_std: float = 0.4,
+    attack_ratings: int = 40,
+    attack_duration: float = 30.0,
+    seed: int = 0,
+    evaluator=None,
+) -> SensitivityResult:
+    """Sweep ``parameter`` over ``values`` and measure the trade-off.
+
+    ``parameter`` must be a field of :class:`DetectorConfig`.  Fair worlds
+    and attacks are regenerated deterministically from ``seed`` so sweeps
+    are comparable across parameters.  The default attack is deliberately
+    *marginal* (medium bias, ~1.3 unfair ratings/day): a blatant attack is
+    caught at any sane threshold and flattens the curve, while the
+    marginal attack exposes where detection actually starts to fail.
+
+    With ``evaluator`` (a :class:`~repro.exec.ParallelEvaluator`), each
+    value is one :class:`~repro.exec.SensitivityTask` and the whole sweep
+    fans out in a single dispatch -- bit-identical to the serial loop,
+    since every point is a pure function of ``(parameter, value, seed)``.
+    """
+    if not values:
+        raise ValidationError("values must be non-empty")
+    base = DetectorConfig()
+    if not hasattr(base, parameter):
+        raise ValidationError(
+            f"{parameter!r} is not a DetectorConfig field"
+        )
+    if evaluator is not None:
+        from repro.exec import SensitivityTask
+
+        tasks = [
+            SensitivityTask(
+                parameter=parameter,
+                value=value,
+                n_fair_worlds=n_fair_worlds,
+                n_attacks=n_attacks,
+                attack_bias=attack_bias,
+                attack_std=attack_std,
+                attack_ratings=attack_ratings,
+                attack_duration=attack_duration,
+                seed=seed,
             )
+            for value in values
+        ]
+        # Build fixtures before the pool forks so workers inherit them.
+        _sweep_fixtures(
+            n_fair_worlds, n_attacks, attack_bias, attack_std,
+            attack_ratings, attack_duration, seed,
         )
+        points = evaluator.map(tasks)
+    else:
+        points = [
+            measure_operating_point(
+                parameter,
+                value,
+                n_fair_worlds=n_fair_worlds,
+                n_attacks=n_attacks,
+                attack_bias=attack_bias,
+                attack_std=attack_std,
+                attack_ratings=attack_ratings,
+                attack_duration=attack_duration,
+                seed=seed,
+            )
+            for value in values
+        ]
     return SensitivityResult(parameter=parameter, points=tuple(points))

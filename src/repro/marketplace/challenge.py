@@ -108,6 +108,18 @@ class RatingChallenge:
                 products=self.products, config=self.fair_config, seed=seed
             )
             self.fair_dataset = generator.generate()
+        # When the whole world is a pure function of an integer seed
+        # (all-default construction), record it: the parallel engine uses
+        # it to rebuild this challenge identically in worker processes.
+        reconstructible = (
+            products is None
+            and fair_config is None
+            and config is None
+            and fair_dataset is None
+            and isinstance(seed, int)
+            and not isinstance(seed, bool)
+        )
+        self.seed: Optional[int] = int(seed) if reconstructible else None
         self._biased_ids = set(self.config.biased_rater_ids())
         self._product_ids = {p.product_id for p in self.products}
 
@@ -199,13 +211,22 @@ class RatingChallenge:
         submissions: Sequence[AttackSubmission],
         scheme,
         validate: bool = True,
+        results: Optional[Sequence[MPResult]] = None,
     ) -> List[LeaderboardEntry]:
-        """Rank submissions by total MP under ``scheme`` (descending)."""
-        results = [
-            (submission, self.evaluate(submission, scheme, validate=validate))
-            for submission in submissions
-        ]
-        results.sort(key=lambda pair: -pair[1].total)
+        """Rank submissions by total MP under ``scheme`` (descending).
+
+        ``results`` (aligned with ``submissions``) skips re-evaluation --
+        used when MP values were already computed, e.g. by the parallel
+        evaluation engine.
+        """
+        if results is None:
+            results = [
+                self.evaluate(submission, scheme, validate=validate)
+                for submission in submissions
+            ]
+        results = sorted(
+            zip(submissions, results), key=lambda pair: -pair[1].total
+        )
         return [
             LeaderboardEntry(
                 rank=i + 1,

@@ -67,10 +67,14 @@ def _covariance_normal_equations(x: np.ndarray, order: int):
     """
     n = x.size
     rows = n - order
-    # Design matrix: row t holds [x[order-1+t], x[order-2+t], ..., x[t]].
-    design = np.empty((rows, order), dtype=float)
-    for lag in range(1, order + 1):
-        design[:, lag - 1] = x[order - lag : n - lag]
+    # Design matrix: row t holds [x[order-1+t], x[order-2+t], ..., x[t]],
+    # i.e. the length-``order`` sliding windows of ``x``, reversed.  The
+    # copy keeps the matrix contiguous so the BLAS products below see the
+    # same memory layout (and produce the same bits) as the old per-lag
+    # column fill.
+    design = np.ascontiguousarray(
+        np.lib.stride_tricks.sliding_window_view(x, order)[:rows, ::-1]
+    ).astype(float, copy=False)
     target = x[order:]
     gram = design.T @ design
     cross = design.T @ target
