@@ -1,8 +1,9 @@
 # Convenience targets for the reproduction repository.
 
 PYTHON ?= python
+LEDGER ?= .repro/ledger.jsonl
 
-.PHONY: install test lint bench bench-quick bench-baseline bench-parallel examples clean
+.PHONY: install test lint bench bench-quick bench-baseline bench-parallel ledger-check examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -25,6 +26,9 @@ bench-baseline:  ## headline MP bench with metrics on -> BENCH_obs_baseline.json
 
 bench-parallel:  ## serial vs parallel vs warm-cache headline bench -> BENCH_parallel.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_parallel.py
+
+ledger-check:    ## flag regressions in the newest recorded run (LEDGER=path)
+	PYTHONPATH=src $(PYTHON) -m repro.cli runs check --ledger $(LEDGER)
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -37,6 +37,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.experiments import ExperimentContext, run_headline_comparison
+from repro.obs.ledger import runtime_environment
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 SEED = 2008
@@ -92,10 +93,14 @@ def main() -> int:
         identical_parallel = _identical(serial_ctx, parallel_ctx)
         identical_warm = _identical(serial_ctx, warm_ctx)
 
+    # Machine/interpreter/commit facts make BENCH files comparable
+    # across hosts: a ~1x "speedup" on a 1-CPU box is expected, not a
+    # regression, and only records from the same git SHA are peers.
     payload = {
         "benchmark": "headline_mp_comparison_parallel",
         "population": population,
         "workers": workers,
+        "env": runtime_environment(),
         "cpu_count": os.cpu_count(),
         "serial_seconds": serial_seconds,
         "parallel_seconds": parallel_seconds,

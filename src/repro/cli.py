@@ -18,19 +18,36 @@ one product (``--explain`` adds the per-rating provenance table);
 ``search`` runs the Procedure 2 region search.
 
 Every command accepts ``--seed`` for reproducibility, plus the global
-observability flags ``--log-level LEVEL`` (structured logs to stderr) and
+observability flags ``--log-level LEVEL`` (structured logs to stderr),
 ``--metrics-out PATH`` (collect pipeline metrics for the invocation and
-write them as JSON).  The scaling globals ``--workers N`` and
+write them as JSON), ``--trace-out PATH`` (export the recorded span tree
+as Chrome/Perfetto ``trace_event`` JSON, with one lane per worker
+process), and ``--ledger PATH`` (append one run record -- argv, workload
+fingerprint, metrics, timings, result digests, environment -- to a
+persistent JSONL ledger).  The scaling globals ``--workers N`` and
 ``--cache-dir DIR`` route ``population``/``search``/``sensitivity``
 through the :mod:`repro.exec` engine: evaluations fan out over ``N``
-processes (bit-identical to serial) and/or replay from a persistent MP
-cache.  Exit status is 0 on success, 2 on argument errors.
+processes (bit-identical to serial, and since the telemetry-capsule
+merge, observationally identical too) and/or replay from a persistent MP
+cache.
+
+Two inspection subcommands close the loop: ``trace FILE`` validates and
+summarizes an exported trace, and ``runs list|show|diff|check`` reads a
+ledger -- ``runs check`` compares the latest run against a rolling
+baseline of comparable runs and exits 1 when result digests, stable
+metrics, or wall-clock regressed beyond the configured thresholds.
+
+Exit status is 0 on success, 1 on a detected regression (``runs check``),
+2 on argument errors.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+from time import perf_counter
 from typing import Optional, Sequence
 
 import numpy as np
@@ -40,6 +57,8 @@ from repro.analysis.reporting import format_table
 from repro.attacks.base import ProductTarget
 from repro.detectors import JointDetector
 from repro.obs import MetricsRegistry, set_registry, setup_logging, write_json
+from repro.obs import ledger as run_ledger
+from repro.obs.trace import read_trace, summarize_trace, write_trace
 from repro.attacks.generator import AttackGenerator, AttackSpec
 from repro.attacks.optimizer import SearchArea, heuristic_region_search
 from repro.attacks.population import PopulationConfig, generate_population
@@ -98,6 +117,19 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--metrics-out", default=None, metavar="PATH",
         help="collect pipeline metrics and write them to PATH as JSON",
+    )
+    common.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="export the invocation's span tree as Chrome/Perfetto "
+             "trace_event JSON (one lane per worker process); inspect "
+             "with 'repro-rating trace PATH' or ui.perfetto.dev",
+    )
+    common.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append one run record (argv, workload fingerprint, metrics, "
+             "timings, result digests, environment) to the JSONL ledger at "
+             "PATH; inspect with the 'runs' subcommand "
+             "(default for 'runs': $REPRO_LEDGER or .repro/ledger.jsonl)",
     )
     common.add_argument(
         "--workers", type=int, default=0, metavar="N",
@@ -192,6 +224,50 @@ def build_parser() -> argparse.ArgumentParser:
     sensitivity.add_argument("--fair-worlds", type=int, default=1)
     sensitivity.add_argument("--attacks", type=int, default=2)
 
+    trace = add_parser(
+        "trace", help="validate and summarize an exported trace JSON"
+    )
+    trace.add_argument("trace_file", help="a file written by --trace-out")
+    trace.add_argument(
+        "--top", type=int, default=10, help="longest spans to list"
+    )
+
+    runs = add_parser(
+        "runs", help="inspect the run ledger (list/show/diff/check)"
+    )
+    runs.add_argument(
+        "action", choices=("list", "show", "diff", "check"),
+        help="list records, show one, diff two, or check for regressions",
+    )
+    runs.add_argument(
+        "ids", nargs="*", metavar="RUN_ID",
+        help="run id prefixes for show/diff (default: the latest run[s])",
+    )
+    runs.add_argument(
+        "-n", "--limit", type=int, default=20,
+        help="records shown by 'list' (default 20)",
+    )
+    runs.add_argument(
+        "--window", type=int, default=5,
+        help="baseline size for 'check': latest compared against up to "
+             "WINDOW earlier comparable runs (default 5)",
+    )
+    runs.add_argument(
+        "--max-timing-ratio", type=float, default=1.5,
+        help="'check' flags wall-clock above RATIO x baseline median "
+             "(default 1.5)",
+    )
+    runs.add_argument(
+        "--metric-tolerance", type=float, default=0.0,
+        help="'check' flags counters drifting beyond this relative "
+             "tolerance (default 0 = exact)",
+    )
+    runs.add_argument(
+        "--digest-tolerance", type=float, default=0.0,
+        help="'check' flags result digests moving beyond this absolute "
+             "tolerance (default 0 = exact)",
+    )
+
     return parser
 
 
@@ -208,6 +284,7 @@ def _cmd_world(args) -> int:
     )
     dataset = FairRatingGenerator(config=config, seed=args.seed).generate()
     save_dataset_csv(dataset, args.out)
+    run_ledger.record_digest("world.ratings", dataset.total_ratings())
     print(
         f"wrote {dataset.total_ratings()} fair ratings over "
         f"{len(dataset)} products to {args.out}"
@@ -252,6 +329,7 @@ def _cmd_evaluate(args) -> int:
             period_days=args.period_days, start_day=start, end_day=end,
         )
         rows.append((name, result.total))
+        run_ledger.record_digest(f"evaluate.{name}.total_mp", result.total)
     print(format_table(["scheme", "total MP"], rows, title="Manipulation Power"))
     return 0
 
@@ -292,6 +370,7 @@ def _cmd_detect(args) -> int:
         return 2
     stream = dataset[args.product]
     report = JointDetector().analyze(stream)
+    run_ledger.record_digest("detect.num_suspicious", report.num_suspicious)
     print(f"product {args.product}: {len(stream)} ratings")
     print(f"suspicious ratings: {report.num_suspicious}")
     print(f"alarms: {dict(report.alarms)}")
@@ -341,6 +420,12 @@ def _cmd_population(args) -> int:
         )
         scheme = _make_scheme(args.scheme)
         board = challenge.leaderboard(population, scheme, validate=False)
+    if board:
+        run_ledger.record_digest("population.top_mp", board[0].total_mp)
+        run_ledger.record_digest(
+            "population.mean_mp",
+            sum(entry.total_mp for entry in board) / len(board),
+        )
     rows = [
         (entry.rank, entry.submission_id, entry.strategy, entry.total_mp)
         for entry in board[: args.top]
@@ -416,6 +501,7 @@ def _cmd_search(args) -> int:
         )
     )
     bias, std = result.best_point
+    run_ledger.record_digest("search.best_mp", result.best_mp)
     print(f"strongest region: bias={bias:.2f}, std={std:.2f} (MP {result.best_mp:.3f})")
     return 0
 
@@ -457,6 +543,63 @@ def _cmd_sensitivity(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    payload = read_trace(args.trace_file)
+    print(f"trace {args.trace_file}: structurally valid")
+    print(summarize_trace(payload, top=args.top))
+    return 0
+
+
+def _runs_ledger_path(args) -> str:
+    """The ledger a ``runs`` invocation should read."""
+    if args.ledger:
+        return args.ledger
+    return os.environ.get("REPRO_LEDGER") or os.path.join(
+        ".repro", "ledger.jsonl"
+    )
+
+
+def _cmd_runs(args) -> int:
+    ledger = run_ledger.RunLedger(_runs_ledger_path(args))
+    if args.action == "list":
+        print(run_ledger.format_runs_table(ledger.tail(args.limit)))
+        return 0
+    if args.action == "show":
+        record = ledger.find(args.ids[0]) if args.ids else ledger.latest()
+        if record is None:
+            print(f"error: ledger {ledger.path} is empty", file=sys.stderr)
+            return 2
+        print(json.dumps(record.as_dict(), indent=2, sort_keys=True))
+        return 0
+    if args.action == "diff":
+        if len(args.ids) >= 2:
+            a, b = ledger.find(args.ids[0]), ledger.find(args.ids[1])
+        else:
+            recent = ledger.tail(2)
+            if len(recent) < 2:
+                print(
+                    f"error: need two records to diff, ledger {ledger.path} "
+                    f"has {len(recent)}",
+                    file=sys.stderr,
+                )
+                return 2
+            a, b = recent
+        lines = run_ledger.diff_records(a, b)
+        print(f"diff {a.run_id} ({a.when}) -> {b.run_id} ({b.when})")
+        print("\n".join(lines) if lines else "(no differences)")
+        return 0
+    # action == "check"
+    report = run_ledger.check_ledger(
+        ledger,
+        window=args.window,
+        max_timing_ratio=args.max_timing_ratio,
+        metric_tolerance=args.metric_tolerance,
+        digest_tolerance=args.digest_tolerance,
+    )
+    print(report.to_text())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "world": _cmd_world,
     "attack": _cmd_attack,
@@ -466,7 +609,12 @@ _COMMANDS = {
     "search": _cmd_search,
     "ablation": _cmd_ablation,
     "sensitivity": _cmd_sensitivity,
+    "trace": _cmd_trace,
+    "runs": _cmd_runs,
 }
+
+#: Inspection commands never record telemetry about themselves.
+_INSPECTION_COMMANDS = frozenset({"trace", "runs"})
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -474,11 +622,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     setup_logging(args.log_level)
-    registry = previous = None
-    if args.metrics_out:
+    recording = args.command not in _INSPECTION_COMMANDS
+    registry = previous = capture = None
+    if recording and (args.metrics_out or args.trace_out or args.ledger):
         # Collect this invocation's pipeline telemetry and persist it.
         registry = MetricsRegistry()
         previous = set_registry(registry)
+        if args.ledger:
+            capture = run_ledger.begin_run_capture()
+    start = perf_counter()
     try:
         status = _COMMANDS[args.command](args)
     except ReproError as exc:
@@ -488,14 +640,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         status = 2
     finally:
+        wall_seconds = perf_counter() - start
         if registry is not None:
             set_registry(previous)
-    if registry is not None:
+        if capture is not None:
+            run_ledger.end_run_capture()
+    if registry is None:
+        return status
+    if args.metrics_out:
         try:
             write_json(registry, args.metrics_out)
             print(f"metrics written to {args.metrics_out}", file=sys.stderr)
         except OSError as exc:
             print(f"error: cannot write metrics: {exc}", file=sys.stderr)
+            status = status or 2
+    if args.trace_out:
+        try:
+            events = write_trace(registry, args.trace_out)
+            print(
+                f"trace written to {args.trace_out} ({events} events)",
+                file=sys.stderr,
+            )
+        except OSError as exc:
+            print(f"error: cannot write trace: {exc}", file=sys.stderr)
+            status = status or 2
+    if args.ledger:
+        record = run_ledger.build_record(
+            command=args.command,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            registry=registry,
+            wall_seconds=wall_seconds,
+            status=status,
+            capture=capture,
+        )
+        try:
+            run_ledger.RunLedger(args.ledger).append(record)
+            print(
+                f"run {record.run_id} appended to {args.ledger}",
+                file=sys.stderr,
+            )
+        except OSError as exc:
+            print(f"error: cannot append to ledger: {exc}", file=sys.stderr)
             status = status or 2
     return status
 

@@ -26,9 +26,12 @@ import pickle
 from pathlib import Path
 from typing import Any, Optional, Tuple
 
+from repro.obs.logging_setup import get_logger
 from repro.obs.registry import MetricsRegistry, get_registry
 
 __all__ = ["MPCache"]
+
+logger = get_logger(__name__)
 
 
 class MPCache:
@@ -52,6 +55,7 @@ class MPCache:
         self._memory: dict = {}
         self._dir: Optional[Path] = None
         self._registry = registry
+        self._warned_corrupt = False
         if cache_dir is not None:
             self._dir = Path(cache_dir)
             self._dir.mkdir(parents=True, exist_ok=True)
@@ -87,8 +91,23 @@ class MPCache:
             try:
                 with open(path, "rb") as handle:
                     value = pickle.load(handle)
+            except FileNotFoundError:
+                pass  # never persisted: an ordinary miss
             except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-                pass  # missing or torn entry: a miss
+                # The entry exists but cannot be read back: disk rot, a
+                # torn write from a crashed process, or a stale pickle
+                # from an incompatible version.  Still a miss (the value
+                # is recomputed and overwritten), but one worth seeing.
+                self.registry.inc("exec.cache.corrupt")
+                if not self._warned_corrupt:
+                    self._warned_corrupt = True
+                    logger.warning(
+                        "cache_dir=%s entry=%s unreadable; treating as a "
+                        "miss (further corrupt entries counted in "
+                        "exec.cache.corrupt without logging)",
+                        self._dir,
+                        path.name,
+                    )
             else:
                 self._memory[key] = value
                 self.registry.inc("exec.cache.hits")

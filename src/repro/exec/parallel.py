@@ -33,9 +33,11 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError
 from repro.exec.cache import MPCache
-from repro.exec.tasks import EvalTask
+from repro.exec.tasks import EvalTask, hermetic_schemes
 from repro.obs import get_logger
-from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.capsule import TelemetryCapsule
+from repro.obs.registry import MetricsRegistry, get_registry, use_registry
+from repro.obs.spans import fresh_span_stack, span
 
 __all__ = ["ParallelEvaluator"]
 
@@ -45,20 +47,49 @@ logger = get_logger(__name__)
 #: granularity reasonable even for huge sweeps.
 _CHUNK_CAP = 32
 
+#: ``(value, seconds, error, capsule)`` -- one task's complete outcome.
+TaskOutcome = Tuple[Any, float, Optional[str], Optional[TelemetryCapsule]]
 
-def _run_task_timed(task: EvalTask) -> Tuple[Any, float, Optional[str]]:
-    """``(value, seconds, error)`` for one task; never raises."""
+
+def _run_task_timed(
+    task: EvalTask, capture: bool = False, hermetic: bool = False
+) -> TaskOutcome:
+    """``(value, seconds, error, capsule)`` for one task; never raises.
+
+    With ``capture`` the task runs under a fresh local registry and an
+    empty span stack; everything it records ships back in a
+    :class:`TelemetryCapsule` so the dispatching process can merge it --
+    this is how worker-side telemetry survives the process boundary, and
+    how the serial path stays observationally identical to the pooled one.
+    ``hermetic`` additionally builds per-task scheme instances (see
+    :func:`~repro.exec.tasks.hermetic_schemes`).
+    """
+    if not capture:
+        start = perf_counter()
+        try:
+            value = task.run()
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            return None, perf_counter() - start, f"{type(exc).__name__}: {exc}", None
+        return value, perf_counter() - start, None, None
+    local = MetricsRegistry()
+    value, error = None, None
     start = perf_counter()
-    try:
-        value = task.run()
-    except Exception as exc:  # noqa: BLE001 - reported to the parent
-        return None, perf_counter() - start, f"{type(exc).__name__}: {exc}"
-    return value, perf_counter() - start, None
+    with fresh_span_stack(), use_registry(local), hermetic_schemes(hermetic):
+        with span("exec.task", local) as record:
+            record.annotate(task=type(task).__name__)
+            try:
+                value = task.run()
+            except Exception as exc:  # noqa: BLE001 - reported to the parent
+                error = f"{type(exc).__name__}: {exc}"
+    seconds = perf_counter() - start
+    return value, seconds, error, TelemetryCapsule.capture(local)
 
 
-def _run_chunk(tasks: Sequence[EvalTask]) -> List[Tuple[Any, float, Optional[str]]]:
+def _run_chunk(
+    tasks: Sequence[EvalTask], capture: bool = False, hermetic: bool = False
+) -> List[TaskOutcome]:
     """Worker-side entry point: run one chunk, returning timed outcomes."""
-    return [_run_task_timed(task) for task in tasks]
+    return [_run_task_timed(task, capture, hermetic) for task in tasks]
 
 
 class ParallelEvaluator:
@@ -74,10 +105,20 @@ class ParallelEvaluator:
         would have produced (task results are pure functions of the
         task).
     registry:
-        Metrics sink; ``None`` uses the globally active registry.
+        Metrics sink; ``None`` uses the globally active registry.  When
+        the sink is collecting, every task (inline or pooled) runs under
+        a fresh local registry and its telemetry is merged back as a
+        :class:`~repro.obs.capsule.TelemetryCapsule` -- worker metrics
+        and spans are never dropped.
     chunksize:
         Tasks per pool submission; default balances load as
         ``min(32, ceil(pending / (4 * workers)))``.
+    hermetic_telemetry:
+        Build a fresh scheme per captured task instead of sharing the
+        process-local instance.  Results are unchanged, but merged
+        metrics become bit-identical at any worker count (shared-scheme
+        cache hit/miss counts otherwise depend on task packing).  Costs
+        cross-task report-cache amortization; off by default.
     """
 
     def __init__(
@@ -86,10 +127,12 @@ class ParallelEvaluator:
         cache: Optional[MPCache] = None,
         registry: Optional[MetricsRegistry] = None,
         chunksize: Optional[int] = None,
+        hermetic_telemetry: bool = False,
     ) -> None:
         self.workers = max(0, int(workers))
         self.cache = cache
         self.chunksize = chunksize
+        self.hermetic_telemetry = bool(hermetic_telemetry)
         self._registry = registry
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_broken = False
@@ -135,8 +178,20 @@ class ParallelEvaluator:
 
     # ------------------------------------------------------------------ #
 
-    def _record(self, seconds: float, error: Optional[str], index: int) -> Any:
+    def _record(
+        self,
+        seconds: float,
+        error: Optional[str],
+        index: int,
+        capsule: Optional[TelemetryCapsule],
+        parent_path: str,
+        base_depth: int,
+    ) -> Any:
         reg = self.registry
+        if capsule is not None:
+            # Merge before any failure is raised so a crashing task's
+            # telemetry (its spans, partial counters) is never lost.
+            capsule.merge_into(reg, parent_path=parent_path, base_depth=base_depth)
         reg.inc("exec.tasks")
         reg.observe("exec.task_seconds", seconds)
         if error is not None:
@@ -146,6 +201,9 @@ class ParallelEvaluator:
     def map(self, tasks: Sequence[EvalTask]) -> List[Any]:
         """Results of ``tasks``, in order; cache-aware and chunk-parallel."""
         tasks = list(tasks)
+        from repro.obs.ledger import note_tasks
+
+        note_tasks(tasks)  # no-op unless a run-ledger capture is active
         results: List[Any] = [None] * len(tasks)
         keys: List[Optional[str]] = [None] * len(tasks)
         pending: List[int] = []
@@ -172,21 +230,34 @@ class ParallelEvaluator:
             pending = unique_pending
         if not pending and not duplicates:
             return results
-        self.registry.set_gauge("exec.workers", float(self.workers))
+        reg = self.registry
+        capture = bool(reg.enabled)
+        reg.set_gauge("exec.workers", float(self.workers))
         pool = (
             self._ensure_pool()
             if self.workers > 0 and len(pending) > 1
             else None
         )
-        if pool is not None:
-            self._map_pool(pool, tasks, pending, results)
-        else:
-            for i in pending:
-                value, seconds, error = _run_task_timed(tasks[i])
-                self._record(seconds, error, i)
-                results[i] = value
-                if self.cache is not None:
-                    self.cache.put(keys[i], value)
+        with span("exec.map", reg) as map_span:
+            map_span.annotate(tasks=len(tasks), pending=len(pending))
+            parent_path = map_span.path
+            base_depth = map_span.depth + 1
+            if pool is not None:
+                self._map_pool(
+                    pool, tasks, pending, results, capture,
+                    parent_path, base_depth,
+                )
+            else:
+                for i in pending:
+                    value, seconds, error, capsule = _run_task_timed(
+                        tasks[i], capture, self.hermetic_telemetry
+                    )
+                    self._record(
+                        seconds, error, i, capsule, parent_path, base_depth
+                    )
+                    results[i] = value
+                    if self.cache is not None:
+                        self.cache.put(keys[i], value)
         if self.cache is not None and pool is not None:
             for i in pending:
                 self.cache.put(keys[i], results[i])
@@ -200,6 +271,9 @@ class ParallelEvaluator:
         tasks: List[EvalTask],
         pending: List[int],
         results: List[Any],
+        capture: bool,
+        parent_path: str,
+        base_depth: int,
     ) -> None:
         chunksize = self.chunksize or max(
             1, min(_CHUNK_CAP, math.ceil(len(pending) / (4 * self.workers)))
@@ -209,13 +283,17 @@ class ParallelEvaluator:
             for offset in range(0, len(pending), chunksize)
         ]
         self.registry.inc("exec.chunks", len(chunks))
+        hermetic = self.hermetic_telemetry
         futures = [
-            pool.submit(_run_chunk, [tasks[i] for i in chunk]) for chunk in chunks
+            pool.submit(
+                _run_chunk, [tasks[i] for i in chunk], capture, hermetic
+            )
+            for chunk in chunks
         ]
         degraded = False
         for chunk, future in zip(chunks, futures):
             if degraded:
-                outcomes = _run_chunk([tasks[i] for i in chunk])
+                outcomes = _run_chunk([tasks[i] for i in chunk], capture, hermetic)
             else:
                 try:
                     outcomes = future.result()
@@ -227,9 +305,11 @@ class ParallelEvaluator:
                     self.registry.inc("exec.pool_fallbacks")
                     self._pool_broken = True
                     degraded = True
-                    outcomes = _run_chunk([tasks[i] for i in chunk])
-            for i, (value, seconds, error) in zip(chunk, outcomes):
-                self._record(seconds, error, i)
+                    outcomes = _run_chunk(
+                        [tasks[i] for i in chunk], capture, hermetic
+                    )
+            for i, (value, seconds, error, capsule) in zip(chunk, outcomes):
+                self._record(seconds, error, i, capsule, parent_path, base_depth)
                 results[i] = value
         if degraded:
             self.close()

@@ -23,8 +23,9 @@ thresholds.  Each unit is expressed here as a frozen dataclass
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -43,12 +44,43 @@ __all__ = [
     "get_shared_challenge",
     "get_shared_scheme",
     "region_probe_batch",
+    "hermetic_schemes",
+    "hermetic_schemes_active",
 ]
 
 #: Process-local registry of expensive shared objects, keyed by the seeds
 #: that rebuild them.  Forked workers inherit the parent's entries; fresh
 #: processes lazily reconstruct (deterministically) from the keys.
 _SHARED: Dict[tuple, object] = {}
+
+#: When True, tasks build a *fresh* scheme per run instead of sharing the
+#: process-local instance.  Results are unchanged (scheme caches are pure
+#: memoization) but telemetry becomes topology-invariant: cache hit/miss
+#: counts no longer depend on how tasks were packed onto processes.
+_HERMETIC = False
+
+
+@contextmanager
+def hermetic_schemes(enabled: bool = True) -> Iterator[None]:
+    """Run a block with per-task (non-shared) scheme instances.
+
+    The execution engine wraps each captured task in this when
+    ``hermetic_telemetry`` is on, so a sweep's merged metrics are
+    bit-identical at any worker count -- at the cost of giving up
+    cross-task report-cache amortization inside each process.
+    """
+    global _HERMETIC
+    previous = _HERMETIC
+    _HERMETIC = bool(enabled)
+    try:
+        yield
+    finally:
+        _HERMETIC = previous
+
+
+def hermetic_schemes_active() -> bool:
+    """Whether tasks should build fresh (non-shared) scheme instances."""
+    return _HERMETIC
 
 
 def share_context(context) -> None:
@@ -105,6 +137,18 @@ def get_shared_scheme(scope: tuple, scheme_name: str):
     the cache state (the caches are pure memoization), so this cannot
     break serial/parallel bit-identity.
     """
+    factory = _scheme_factory(scheme_name)
+    if _HERMETIC:
+        return factory()
+    key = ("scheme", scope, scheme_name)
+    scheme = _SHARED.get(key)
+    if scheme is None:
+        scheme = factory()
+        _SHARED[key] = scheme
+    return scheme
+
+
+def _scheme_factory(scheme_name: str):
     from repro.aggregation import BetaFilterScheme, PScheme, SimpleAveragingScheme
 
     factories = {"P": PScheme, "SA": SimpleAveragingScheme, "BF": BetaFilterScheme}
@@ -112,12 +156,7 @@ def get_shared_scheme(scope: tuple, scheme_name: str):
         raise ValidationError(
             f"unknown scheme {scheme_name!r}; expected one of {sorted(factories)}"
         )
-    key = ("scheme", scope, scheme_name)
-    scheme = _SHARED.get(key)
-    if scheme is None:
-        scheme = factories[scheme_name]()
-        _SHARED[key] = scheme
-    return scheme
+    return factories[scheme_name]
 
 
 # --------------------------------------------------------------------- #
@@ -161,7 +200,10 @@ class PopulationEvalTask(EvalTask):
     def run(self):
         context = get_shared_context(self.root_seed, self.population_size)
         submission = context.population[self.index]
-        scheme = context.scheme(self.scheme_name)
+        if _HERMETIC:
+            scheme = _scheme_factory(self.scheme_name)()
+        else:
+            scheme = context.scheme(self.scheme_name)
         return context.challenge.evaluate(submission, scheme, validate=False)
 
 

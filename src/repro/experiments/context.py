@@ -43,12 +43,17 @@ class ExperimentContext:
     cache_dir:
         Optional directory for the persistent MP cache; re-running the
         same experiment turns evaluations into disk reads.
+    hermetic_telemetry:
+        Build per-task scheme instances when telemetry is collected, so
+        merged metrics are bit-identical at any worker count (see
+        :class:`~repro.exec.ParallelEvaluator`).  Off by default.
     """
 
     seed: int = 2008
     population_size: int = 251
     workers: int = 0
     cache_dir: Optional[str] = None
+    hermetic_telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.population_size < 1:
@@ -99,7 +104,11 @@ class ExperimentContext:
         """The task evaluator backing :meth:`results_for` (built lazily)."""
         if self._evaluator is None:
             cache = MPCache(cache_dir=self.cache_dir) if self.cache_dir else None
-            self._evaluator = ParallelEvaluator(workers=self.workers, cache=cache)
+            self._evaluator = ParallelEvaluator(
+                workers=self.workers,
+                cache=cache,
+                hermetic_telemetry=self.hermetic_telemetry,
+            )
         return self._evaluator
 
     def close(self) -> None:

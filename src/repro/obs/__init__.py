@@ -15,6 +15,14 @@ this package:
   logging under the ``repro`` logger tree (silent until configured).
 - :func:`write_json` / :func:`format_metrics` -- exporters (JSON file,
   aligned text tables).
+- :class:`TelemetryCapsule` -- pickleable registry snapshots that carry
+  worker-side telemetry across process boundaries (merged back by the
+  execution engine, so pooled runs export the same telemetry as serial).
+- :func:`write_trace` / :func:`read_trace` / :func:`summarize_trace` --
+  Chrome/Perfetto ``trace_event`` export of the recorded span tree, with
+  one lane per worker process.
+- :class:`RunLedger` / :func:`check_ledger` -- the persistent run ledger
+  (JSONL, one record per invocation) and its regression checker.
 
 Quickstart::
 
@@ -27,8 +35,17 @@ Quickstart::
     write_json(registry, "metrics.json")
 """
 
+from repro.obs.capsule import TelemetryCapsule
 from repro.obs.export import format_metrics, registry_to_dict, write_json
+from repro.obs.ledger import (
+    CheckReport,
+    RunLedger,
+    RunRecord,
+    check_ledger,
+    runtime_environment,
+)
 from repro.obs.logging_setup import get_logger, setup_logging
+from repro.obs.trace import read_trace, summarize_trace, write_trace
 from repro.obs.registry import (
     NULL_REGISTRY,
     Counter,
@@ -40,9 +57,19 @@ from repro.obs.registry import (
     set_registry,
     use_registry,
 )
-from repro.obs.spans import SpanRecord, current_span_path, span
+from repro.obs.spans import SpanRecord, current_span_path, fresh_span_stack, span
 
 __all__ = [
+    "TelemetryCapsule",
+    "RunLedger",
+    "RunRecord",
+    "CheckReport",
+    "check_ledger",
+    "runtime_environment",
+    "write_trace",
+    "read_trace",
+    "summarize_trace",
+    "fresh_span_stack",
     "Counter",
     "Gauge",
     "Histogram",

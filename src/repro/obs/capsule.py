@@ -1,0 +1,96 @@
+"""Cross-process telemetry: snapshot a registry, ship it, merge it.
+
+Worker processes in :class:`~repro.exec.parallel.ParallelEvaluator`
+collect metrics and spans into a *fresh* per-task registry; without this
+module everything they record would die with the worker.  A
+:class:`TelemetryCapsule` is the pickleable snapshot of such a registry
+-- counters, gauges, full histogram state (including the percentile
+reservoir), and completed span records -- that travels back to the
+parent alongside the task result and is folded into the parent registry:
+
+- counters add, gauges last-write-win, histograms merge exactly
+  (count/sum/min/max combine; reservoirs concatenate in dispatch order);
+- span records are **re-parented** under the dispatching span: their
+  dotted paths are prefixed with the parent path, depths are shifted,
+  and each record is stamped with the producing pid so trace exporters
+  can draw per-worker lanes.
+
+Because the serial (``workers=0``) execution path captures tasks through
+the exact same capsule mechanism, a sweep exports the same merged
+telemetry no matter how it was dispatched.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanRecord
+
+__all__ = ["TelemetryCapsule"]
+
+#: ``(count, total, min, max, recent)`` -- the pickleable histogram state.
+HistogramState = Tuple[int, float, float, float, List[float]]
+
+
+@dataclass
+class TelemetryCapsule:
+    """A pickleable snapshot of one registry's collected telemetry."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, HistogramState] = field(default_factory=dict)
+    spans: List[SpanRecord] = field(default_factory=list)
+    pid: int = 0
+
+    @classmethod
+    def capture(cls, registry: MetricsRegistry) -> "TelemetryCapsule":
+        """Snapshot everything ``registry`` collected, stamped with our pid."""
+        return cls(
+            counters={k: v.value for k, v in registry.counters.items()},
+            gauges={k: v.value for k, v in registry.gauges.items()},
+            histograms={k: v.state() for k, v in registry.histograms.items()},
+            spans=list(registry.spans),
+            pid=os.getpid(),
+        )
+
+    @property
+    def empty(self) -> bool:
+        """Whether the capsule carries no telemetry at all."""
+        return not (self.counters or self.gauges or self.histograms or self.spans)
+
+    def merge_into(
+        self,
+        registry: MetricsRegistry,
+        parent_path: str = "",
+        base_depth: int = 0,
+    ) -> None:
+        """Fold this capsule into ``registry``.
+
+        ``parent_path``/``base_depth`` re-parent the shipped span records
+        under the dispatching span (metric *names* are left untouched, so
+        per-stage histograms keep their stable identities).  Merging into
+        a disabled registry (e.g. :data:`~repro.obs.registry.NULL_REGISTRY`)
+        is a no-op.
+        """
+        if not registry.enabled:
+            return
+        for name, value in self.counters.items():
+            if value:
+                registry.counter(name).inc(value)
+        for name, value in self.gauges.items():
+            registry.gauge(name).set(value)
+        for name, state in self.histograms.items():
+            registry.histogram(name).merge_state(*state)
+        for record in self.spans:
+            path = f"{parent_path}.{record.path}" if parent_path else record.path
+            registry.adopt_span(
+                replace(
+                    record,
+                    path=path,
+                    depth=record.depth + base_depth,
+                    pid=record.pid or self.pid,
+                )
+            )

@@ -25,7 +25,7 @@ import math
 import threading
 from collections import deque
 from contextlib import contextmanager
-from typing import Deque, Dict, Iterator, List, Optional
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
@@ -98,6 +98,34 @@ class Histogram:
         if value > self.max:
             self.max = value
         self._recent.append(value)
+
+    def state(self) -> Tuple[int, float, float, float, List[float]]:
+        """The full pickleable state (count, sum, min, max, recent)."""
+        return (self.count, self.total, self.min, self.max, list(self._recent))
+
+    def merge_state(
+        self,
+        count: int,
+        total: float,
+        min_value: float,
+        max_value: float,
+        recent: Sequence[float],
+    ) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Summary statistics combine exactly; the bounded reservoir is
+        concatenated (recency bias is preserved because merges happen in
+        dispatch order and the deque keeps the most recent entries).
+        """
+        if not count:
+            return
+        self.count += int(count)
+        self.total += float(total)
+        if min_value < self.min:
+            self.min = min_value
+        if max_value > self.max:
+            self.max = max_value
+        self._recent.extend(recent)
 
     @property
     def mean(self) -> float:
@@ -199,6 +227,17 @@ class MetricsRegistry:
         if len(self.spans) < self.MAX_SPANS:
             self.spans.append(record)
 
+    def adopt_span(self, record) -> None:
+        """Append an already-recorded span (e.g. merged from a worker).
+
+        Unlike :meth:`record_span` this does *not* observe the duration
+        histogram -- the producing registry already did, and histogram
+        merges carry that over -- it only re-homes the record into this
+        registry's span list (bounded by :data:`MAX_SPANS`).
+        """
+        if len(self.spans) < self.MAX_SPANS:
+            self.spans.append(record)
+
     # -- inspection ----------------------------------------------------- #
 
     def counter_value(self, name: str) -> float:
@@ -259,6 +298,9 @@ class NullRegistry(MetricsRegistry):
         pass
 
     def record_span(self, record) -> None:
+        pass
+
+    def adopt_span(self, record) -> None:
         pass
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:

@@ -17,12 +17,18 @@ from typing import Iterator, List, Optional
 
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry, get_registry
 
-__all__ = ["SpanRecord", "span", "current_span_path"]
+__all__ = ["SpanRecord", "span", "current_span_path", "fresh_span_stack"]
 
 
 @dataclass
 class SpanRecord:
-    """One completed (or in-flight) traced section."""
+    """One completed (or in-flight) traced section.
+
+    ``pid`` identifies the process that ran the span: 0 means "the
+    recording process" (filled in lazily by exporters), a concrete pid is
+    stamped when a :class:`~repro.obs.capsule.TelemetryCapsule` ships the
+    record across a process boundary, so merged traces keep worker lanes.
+    """
 
     name: str
     path: str
@@ -30,6 +36,7 @@ class SpanRecord:
     start: float = 0.0
     duration: float = 0.0
     annotations: dict = field(default_factory=dict)
+    pid: int = 0
 
     def annotate(self, **kwargs) -> None:
         """Attach key/value context to the span (e.g. sizes, cache keys)."""
@@ -47,6 +54,24 @@ _stack = _SpanStack()
 def current_span_path() -> str:
     """Dotted path of the innermost open span ("" outside any span)."""
     return _stack.items[-1].path if _stack.items else ""
+
+
+@contextmanager
+def fresh_span_stack() -> Iterator[None]:
+    """Run a block with an empty span stack, restoring the old one after.
+
+    Used by the execution engine around each captured task so that task
+    spans always start at the root -- whether the task runs inline (the
+    parent may have spans open) or in a forked pool worker (which
+    inherited the parent's stack as of fork time).  This is what makes
+    serial and parallel capsules carry identical span paths.
+    """
+    saved = _stack.items
+    _stack.items = []
+    try:
+        yield
+    finally:
+        _stack.items = saved
 
 
 _NULL_SPAN = SpanRecord(name="", path="", depth=0)

@@ -1,0 +1,176 @@
+"""Chrome/Perfetto ``trace_event`` export of the recorded span tree.
+
+Every completed :class:`~repro.obs.spans.SpanRecord` -- including worker
+records merged back through :class:`~repro.obs.capsule.TelemetryCapsule`
+-- becomes one complete ("X") event in the Trace Event Format that
+``chrome://tracing`` and https://ui.perfetto.dev load natively.  Records
+keep their producing pid, so a parallel sweep renders one lane per pool
+worker next to the parent's dispatch span; timestamps are normalized to
+the earliest span so the trace starts at zero.  (Span start times come
+from ``perf_counter``, which on Linux is the system-wide monotonic clock
+-- comparable across forked workers.)
+
+Final counter values are exported as one trailing counter ("C") event
+per metric namespace so quality counters are visible alongside timing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ValidationError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanRecord
+
+__all__ = [
+    "trace_events",
+    "write_trace",
+    "read_trace",
+    "summarize_trace",
+]
+
+#: Microseconds per second -- trace event timestamps are in µs.
+_US = 1e6
+
+
+def trace_events(
+    registry: MetricsRegistry, base_pid: Optional[int] = None
+) -> List[Dict[str, object]]:
+    """The registry's spans (plus final counters) as trace events."""
+    base_pid = os.getpid() if base_pid is None else int(base_pid)
+    spans: Sequence[SpanRecord] = list(registry.spans)
+    origin = min((record.start for record in spans), default=0.0)
+    events: List[Dict[str, object]] = []
+    pids = {base_pid}
+    for record in spans:
+        pid = record.pid or base_pid
+        pids.add(pid)
+        args: Dict[str, object] = {"path": record.path, "depth": record.depth}
+        args.update(record.annotations)
+        events.append(
+            {
+                "name": record.name,
+                "cat": record.path.split(".", 1)[0] if record.path else "span",
+                "ph": "X",
+                "ts": (record.start - origin) * _US,
+                "dur": record.duration * _US,
+                "pid": pid,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    counters = {
+        name: value
+        for name, value in registry.snapshot()["counters"].items()
+        if value
+    }
+    if counters:
+        last_ts = max((float(e["ts"]) + float(e["dur"]) for e in events),
+                      default=0.0)
+        events.append(
+            {
+                "name": "final counters",
+                "ph": "C",
+                "ts": last_ts,
+                "pid": base_pid,
+                "tid": 0,
+                "args": counters,
+            }
+        )
+    metadata: List[Dict[str, object]] = []
+    for pid in sorted(pids):
+        label = "main" if pid == base_pid else f"worker {pid}"
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro {label}"},
+            }
+        )
+    return metadata + events
+
+
+def write_trace(
+    registry: MetricsRegistry,
+    path: os.PathLike,
+    base_pid: Optional[int] = None,
+) -> int:
+    """Write the registry's trace to ``path``; returns the event count."""
+    events = trace_events(registry, base_pid=base_pid)
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs.trace"},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    registry.inc("trace.events_written", len(events))
+    return len(events)
+
+
+def read_trace(path: os.PathLike) -> Dict[str, object]:
+    """Load and structurally validate a trace JSON file.
+
+    Raises :class:`~repro.errors.ValidationError` on anything Perfetto's
+    JSON importer would reject: a missing ``traceEvents`` list, events
+    without ``ph``/``name``, or complete events without numeric
+    ``ts``/``dur``/``pid``.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except ValueError as exc:
+        raise ValidationError(f"{path}: not valid JSON ({exc})") from None
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("traceEvents"), list
+    ):
+        raise ValidationError(
+            f"{path}: expected an object with a 'traceEvents' list"
+        )
+    for index, event in enumerate(payload["traceEvents"]):
+        if not isinstance(event, dict):
+            raise ValidationError(f"{path}: event #{index} is not an object")
+        if "ph" not in event or "name" not in event:
+            raise ValidationError(
+                f"{path}: event #{index} lacks required 'ph'/'name' fields"
+            )
+        if event["ph"] == "X":
+            for key in ("ts", "dur", "pid"):
+                if not isinstance(event.get(key), (int, float)):
+                    raise ValidationError(
+                        f"{path}: complete event #{index} has non-numeric "
+                        f"{key!r}"
+                    )
+    return payload
+
+
+def summarize_trace(payload: Dict[str, object], top: int = 10) -> str:
+    """A text digest of a loaded trace (lanes, phases, longest spans)."""
+    events = payload["traceEvents"]
+    complete = [e for e in events if e.get("ph") == "X"]
+    phases: Dict[str, int] = {}
+    for event in events:
+        phases[event["ph"]] = phases.get(event["ph"], 0) + 1
+    lanes = sorted({e["pid"] for e in complete})
+    lines = [
+        f"{len(events)} events "
+        f"({', '.join(f'{n} {ph!r}' for ph, n in sorted(phases.items()))})",
+        f"process lanes: {', '.join(str(p) for p in lanes) or '(none)'}",
+    ]
+    if complete:
+        span_end = max(float(e["ts"]) + float(e["dur"]) for e in complete)
+        lines.append(f"trace span: {span_end / 1e3:.2f} ms")
+        lines.append(f"longest {min(top, len(complete))} spans:")
+        longest = sorted(complete, key=lambda e: -float(e["dur"]))[:top]
+        for event in longest:
+            path = event.get("args", {}).get("path", event["name"])
+            lines.append(
+                f"  {float(event['dur']) / 1e3:10.2f} ms  pid={event['pid']}"
+                f"  {path}"
+            )
+    return "\n".join(lines)

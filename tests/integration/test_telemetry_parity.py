@@ -1,0 +1,197 @@
+"""Serial and parallel runs must export *identical* merged telemetry.
+
+The capsule mechanism's contract: with ``hermetic_telemetry`` on, every
+quality counter, gauge, and histogram summary merged into the parent
+registry is the same whether tasks ran inline (``workers=0``) or across
+a process pool (``workers=2``) -- only the ``exec.*`` pool bookkeeping
+namespace may differ.  These tests pin that contract, plus the CLI
+surfaces built on it: ``--trace-out`` writes a structurally valid
+Perfetto trace, and ``repro runs check`` flags an injected regression
+against a ledger baseline.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.context import ExperimentContext
+from repro.obs import MetricsRegistry, read_trace, set_registry
+from repro.obs.ledger import RunLedger
+
+SEED = 2008
+POP = 6
+
+#: Pool/dispatch bookkeeping: legitimately differs between topologies.
+EXEC_PREFIX = "exec."
+
+
+def merged_telemetry(workers):
+    """Run the P-scheme population under a fresh registry; return snapshot."""
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        context = ExperimentContext(
+            seed=SEED,
+            population_size=POP,
+            workers=workers,
+            hermetic_telemetry=True,
+        )
+        results = context.results_for("P")
+        context.close()
+    finally:
+        set_registry(previous)
+    return registry, results
+
+
+def comparable_counters(registry):
+    return {
+        name: value
+        for name, value in registry.snapshot()["counters"].items()
+        if not name.startswith(EXEC_PREFIX)
+    }
+
+
+def comparable_histograms(registry):
+    """Full five-number summaries for every non-exec histogram.
+
+    Timing histograms (``*.seconds``) carry wall-clock noise, so only
+    their observation *counts* are comparable; value histograms must
+    match exactly.
+    """
+    counts, values = {}, {}
+    for name, hist in registry.histograms.items():
+        if name.startswith(EXEC_PREFIX) or name.startswith("span.exec."):
+            continue
+        counts[name] = hist.count
+        if not name.endswith(".seconds"):
+            values[name] = hist.summary()
+    return counts, values
+
+
+class TestSerialParallelTelemetryParity:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return merged_telemetry(workers=0)
+
+    @pytest.fixture(scope="class")
+    def parallel(self):
+        return merged_telemetry(workers=2)
+
+    def test_results_still_bit_identical(self, serial, parallel):
+        _, serial_results = serial
+        _, parallel_results = parallel
+        assert set(serial_results) == set(parallel_results)
+        for sid in serial_results:
+            assert serial_results[sid].total == parallel_results[sid].total
+
+    def test_counters_identical_modulo_exec(self, serial, parallel):
+        serial_counters = comparable_counters(serial[0])
+        parallel_counters = comparable_counters(parallel[0])
+        assert serial_counters == parallel_counters
+        # The comparison is not vacuous: detection/trust pipelines fired.
+        assert any(n.startswith("detector.") for n in serial_counters)
+
+    def test_gauges_identical_modulo_exec(self, serial, parallel):
+        gauges = lambda reg: {  # noqa: E731
+            n: v
+            for n, v in reg.snapshot()["gauges"].items()
+            if not n.startswith(EXEC_PREFIX)
+        }
+        assert gauges(serial[0]) == gauges(parallel[0])
+
+    def test_histograms_identical_modulo_exec_and_timing(
+        self, serial, parallel
+    ):
+        serial_counts, serial_values = comparable_histograms(serial[0])
+        parallel_counts, parallel_values = comparable_histograms(parallel[0])
+        assert serial_counts == parallel_counts
+        assert serial_values == parallel_values
+        assert serial_values  # non-vacuous: value histograms were recorded
+
+    def test_worker_spans_reparented_under_dispatch(self, parallel):
+        registry, _ = parallel
+        paths = {record.path for record in registry.spans}
+        assert any(p.startswith("exec.map.exec.task.") for p in paths)
+        # At least one span came back from a different process.
+        assert any(record.pid for record in registry.spans)
+
+
+class TestCliTraceExport:
+    def test_trace_out_writes_valid_perfetto_json(self, tmp_path):
+        trace_path = tmp_path / "population.trace.json"
+        status = main(
+            [
+                "population",
+                "--seed", str(SEED),
+                "--size", "4",
+                "--scheme", "SA",
+                "--workers", "2",
+                "--top", "2",
+                "--trace-out", str(trace_path),
+            ]
+        )
+        assert status == 0
+        payload = read_trace(trace_path)  # raises ValidationError if invalid
+        events = payload["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete
+        # Parallel dispatch shows up as more than one process lane.
+        assert len({e["pid"] for e in complete}) >= 2
+        assert main(["trace", str(trace_path)]) == 0
+
+
+class TestCliLedgerRegression:
+    def run_population(self, ledger_path):
+        return main(
+            [
+                "population",
+                "--seed", str(SEED),
+                "--size", "4",
+                "--scheme", "SA",
+                "--top", "2",
+                "--ledger", str(ledger_path),
+            ]
+        )
+
+    def test_check_passes_on_repeat_runs_then_flags_injected_regression(
+        self, tmp_path
+    ):
+        ledger_path = tmp_path / "ledger.jsonl"
+        for _ in range(3):
+            assert self.run_population(ledger_path) == 0
+        assert main(["runs", "check", "--ledger", str(ledger_path)]) == 0
+
+        # Inject a regression: re-append the latest record with a slower
+        # wall clock and a drifted headline digest, as if the code changed.
+        latest = RunLedger(ledger_path).latest()
+        broken = latest.as_dict()
+        broken["run_id"] = "badbadbadbad"
+        broken["timings"]["wall_seconds"] *= 10.0
+        broken["digests"]["population.top_mp"] += 0.5
+        with open(ledger_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(broken) + "\n")
+
+        assert main(["runs", "check", "--ledger", str(ledger_path)]) == 1
+
+    def test_injected_regression_against_committed_fixture(self, tmp_path):
+        fixture = (
+            Path(__file__).resolve().parent.parent
+            / "fixtures"
+            / "ledger_baseline.jsonl"
+        )
+        ledger_path = tmp_path / "ledger.jsonl"
+        shutil.copy(fixture, ledger_path)
+        assert main(["runs", "check", "--ledger", str(ledger_path)]) == 0
+
+        latest = RunLedger(ledger_path).latest()
+        broken = latest.as_dict()
+        broken["run_id"] = "cccccccccccc"
+        broken["timings"]["wall_seconds"] *= 10.0
+        broken["digests"]["population.top_mp"] += 0.5
+        with open(ledger_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(broken) + "\n")
+
+        assert main(["runs", "check", "--ledger", str(ledger_path)]) == 1

@@ -1,0 +1,124 @@
+"""Unit tests for cross-process telemetry capsules (repro.obs.capsule)."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    TelemetryCapsule,
+    span,
+    use_registry,
+)
+
+
+def populated_registry():
+    registry = MetricsRegistry()
+    registry.inc("detector.joint.calls", 3)
+    registry.set_gauge("trust.raters", 17.0)
+    for value in (0.1, 0.2, 0.7):
+        registry.observe("trust.value", value)
+    with use_registry(registry):
+        with span("pscheme.monthly_scores"):
+            with span("detect"):
+                pass
+    return registry
+
+
+class TestCapture:
+    def test_capture_carries_everything(self):
+        capsule = TelemetryCapsule.capture(populated_registry())
+        assert capsule.counters["detector.joint.calls"] == 3.0
+        assert capsule.gauges["trust.raters"] == 17.0
+        count, total, *_ = capsule.histograms["trust.value"]
+        assert (count, total) == (3, pytest.approx(1.0))
+        assert [s.path for s in capsule.spans] == [
+            "pscheme.monthly_scores.detect",
+            "pscheme.monthly_scores",
+        ]
+        assert capsule.pid == os.getpid()
+        assert not capsule.empty
+
+    def test_empty_capsule(self):
+        assert TelemetryCapsule.capture(MetricsRegistry()).empty
+
+    def test_pickle_round_trip(self):
+        capsule = TelemetryCapsule.capture(populated_registry())
+        clone = pickle.loads(pickle.dumps(capsule))
+        assert clone.counters == capsule.counters
+        assert clone.histograms == capsule.histograms
+        assert [s.path for s in clone.spans] == [s.path for s in capsule.spans]
+
+
+class TestMerge:
+    def test_counters_add_and_gauges_overwrite(self):
+        parent = MetricsRegistry()
+        parent.inc("detector.joint.calls", 1)
+        parent.set_gauge("trust.raters", 5.0)
+        TelemetryCapsule.capture(populated_registry()).merge_into(parent)
+        assert parent.counter_value("detector.joint.calls") == 4.0
+        assert parent.gauges["trust.raters"].value == 17.0
+
+    def test_histograms_merge_exactly(self):
+        parent = MetricsRegistry()
+        parent.observe("trust.value", 0.9)
+        TelemetryCapsule.capture(populated_registry()).merge_into(parent)
+        merged = parent.histograms["trust.value"]
+        assert merged.count == 4
+        assert merged.total == pytest.approx(1.9)
+        assert merged.min == pytest.approx(0.1)
+        assert merged.max == pytest.approx(0.9)
+        # The reservoir carries every sample, so percentiles see them all.
+        assert merged.percentile(100) == pytest.approx(0.9)
+        assert merged.percentile(0) == pytest.approx(0.1)
+
+    def test_merge_twice_doubles(self):
+        parent = MetricsRegistry()
+        capsule = TelemetryCapsule.capture(populated_registry())
+        capsule.merge_into(parent)
+        capsule.merge_into(parent)
+        assert parent.counter_value("detector.joint.calls") == 6.0
+        assert parent.histograms["trust.value"].count == 6
+
+    def test_spans_reparented_under_dispatch_path(self):
+        parent = MetricsRegistry()
+        capsule = TelemetryCapsule.capture(populated_registry())
+        capsule.merge_into(parent, parent_path="exp.exec.map", base_depth=2)
+        paths = {s.path: s for s in parent.spans}
+        inner = paths["exp.exec.map.pscheme.monthly_scores.detect"]
+        outer = paths["exp.exec.map.pscheme.monthly_scores"]
+        assert outer.depth == 2
+        assert inner.depth == outer.depth + 1 == 3
+        assert inner.pid == capsule.pid
+        # Metric names stay stable: re-parenting does not rename the
+        # per-stage histograms the worker already recorded.
+        assert "span.pscheme.monthly_scores.detect.seconds" in parent.histograms
+
+    def test_adopted_spans_do_not_double_count_durations(self):
+        parent = MetricsRegistry()
+        TelemetryCapsule.capture(populated_registry()).merge_into(parent)
+        # One observation per span from the worker-side histogram merge,
+        # none added again at adoption time.
+        assert parent.histograms[
+            "span.pscheme.monthly_scores.seconds"
+        ].count == 1
+
+    def test_merge_into_null_registry_is_noop(self):
+        capsule = TelemetryCapsule.capture(populated_registry())
+        capsule.merge_into(NULL_REGISTRY)
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+        assert NULL_REGISTRY.spans == []
+
+    def test_merge_respects_span_bound(self):
+        parent = MetricsRegistry()
+        donor = MetricsRegistry()
+        with use_registry(donor):
+            for i in range(parent.MAX_SPANS + 10):
+                with span(f"s{i}"):
+                    pass
+        TelemetryCapsule.capture(donor).merge_into(parent)
+        assert len(parent.spans) == parent.MAX_SPANS

@@ -148,6 +148,41 @@ class TestMPCache:
         hit, _ = cache.get("bad")
         assert not hit
         assert reg.counter_value("exec.cache.misses") == 1
+        assert reg.counter_value("exec.cache.corrupt") == 1
+
+    def test_corrupt_entries_counted_but_warned_once(self, tmp_path):
+        import logging
+
+        reg = MetricsRegistry()
+        cache = MPCache(cache_dir=tmp_path, registry=reg)
+        for name in ("bad1", "bad2", "bad3"):
+            (tmp_path / f"{name}.pkl").write_bytes(b"torn")
+        # Listen on the module logger directly: the repro tree does not
+        # propagate to root once setup_logging has run elsewhere.
+        records = []
+        handler = logging.Handler()
+        handler.emit = records.append
+        cache_logger = logging.getLogger("repro.exec.cache")
+        cache_logger.addHandler(handler)
+        old_level = cache_logger.level
+        cache_logger.setLevel(logging.WARNING)
+        try:
+            for name in ("bad1", "bad2", "bad3"):
+                assert cache.get(name) == (False, None)
+        finally:
+            cache_logger.removeHandler(handler)
+            cache_logger.setLevel(old_level)
+        assert reg.counter_value("exec.cache.corrupt") == 3
+        warnings = [r for r in records if "unreadable" in r.getMessage()]
+        assert len(warnings) == 1
+
+    def test_missing_entry_is_not_counted_corrupt(self, tmp_path):
+        reg = MetricsRegistry()
+        cache = MPCache(cache_dir=tmp_path, registry=reg)
+        hit, _ = cache.get("never-written")
+        assert not hit
+        assert reg.counter_value("exec.cache.corrupt") == 0
+        assert reg.counter_value("exec.cache.misses") == 1
 
     def test_atomic_write_leaves_no_temp_files(self, tmp_path):
         cache = MPCache(cache_dir=tmp_path, registry=MetricsRegistry())

@@ -367,3 +367,108 @@ class TestSearchTelemetry:
         assert reg.gauges["search.best_mp"].value == pytest.approx(
             result.best_mp
         )
+
+
+class TestHistogramEdgeCases:
+    def test_percentile_on_empty_is_nan(self):
+        from repro.obs import Histogram
+
+        hist = Histogram()
+        for q in (0, 50, 99, 100):
+            assert np.isnan(hist.percentile(q))
+
+    def test_percentile_on_single_sample_is_that_sample(self):
+        from repro.obs import Histogram
+
+        hist = Histogram()
+        hist.observe(2.5)
+        for q in (0, 37, 50, 99, 100):
+            assert hist.percentile(q) == pytest.approx(2.5)
+
+    def test_merge_state_with_empty_donor_is_noop(self):
+        from repro.obs import Histogram
+
+        hist = Histogram()
+        hist.observe(1.0)
+        hist.merge_state(*Histogram().state())
+        assert hist.count == 1
+        assert hist.min == hist.max == 1.0
+
+    def test_merge_state_into_empty_reproduces_donor(self):
+        from repro.obs import Histogram
+
+        donor = Histogram()
+        for v in (3.0, 1.0, 2.0):
+            donor.observe(v)
+        hist = Histogram()
+        hist.merge_state(*donor.state())
+        assert hist.summary() == donor.summary()
+
+
+class TestSpansAcrossThreads:
+    def test_span_stacks_are_thread_local(self):
+        import threading
+
+        registry = MetricsRegistry()
+        paths = {}
+
+        def worker(tag):
+            with span(f"outer-{tag}", registry):
+                with span("inner", registry) as record:
+                    paths[tag] = record.path
+
+        with use_registry(registry):
+            with span("main-span", registry):
+                threads = [
+                    threading.Thread(target=worker, args=(i,)) for i in range(2)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+        # Other threads never see this thread's open spans: their paths
+        # start at their own roots, not under "main-span".
+        assert paths[0] == "outer-0.inner"
+        assert paths[1] == "outer-1.inner"
+
+    def test_fresh_span_stack_isolates_and_restores(self):
+        from repro.obs import fresh_span_stack
+
+        registry = MetricsRegistry()
+        with span("outer", registry):
+            assert current_span_path() == "outer"
+            with fresh_span_stack():
+                assert current_span_path() == ""
+                with span("task-root", registry) as record:
+                    assert record.path == "task-root"
+                    assert record.depth == 0
+            assert current_span_path() == "outer"
+
+
+class TestNullRegistryCapsulePath:
+    def test_null_registry_adopt_span_is_noop(self):
+        from repro.obs import SpanRecord
+
+        NULL_REGISTRY.adopt_span(SpanRecord(name="x", path="x", depth=0))
+        assert NULL_REGISTRY.spans == []
+
+    def test_capture_of_null_registry_is_empty(self):
+        from repro.obs import TelemetryCapsule
+        from repro.obs.registry import NullRegistry
+
+        null = NullRegistry()
+        null.inc("anything", 5)
+        null.observe("h", 1.0)
+        capsule = TelemetryCapsule.capture(null)
+        assert capsule.empty
+
+    def test_merge_into_disabled_registry_is_noop(self):
+        from repro.obs import TelemetryCapsule
+
+        donor = MetricsRegistry()
+        donor.inc("detector.joint.calls", 2)
+        capsule = TelemetryCapsule.capture(donor)
+        disabled = MetricsRegistry()
+        disabled.enabled = False
+        capsule.merge_into(disabled)
+        assert disabled.snapshot()["counters"] == {}

@@ -1,0 +1,135 @@
+"""Unit tests for the Chrome/Perfetto trace exporter (repro.obs.trace)."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import (
+    MetricsRegistry,
+    read_trace,
+    span,
+    summarize_trace,
+    use_registry,
+    write_trace,
+)
+from repro.obs.trace import trace_events
+
+
+def traced_registry():
+    registry = MetricsRegistry()
+    registry.inc("detector.joint.calls", 2)
+    with use_registry(registry):
+        with span("exec.map"):
+            with span("exec.task") as record:
+                record.annotate(task="PopulationEvalTask")
+    return registry
+
+
+class TestTraceEvents:
+    def test_complete_events_cover_every_span(self):
+        registry = traced_registry()
+        events = trace_events(registry)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["args"]["path"] for e in complete} == {
+            "exec.map",
+            "exec.map.exec.task",
+        }
+        for event in complete:
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert event["pid"] == os.getpid()
+            assert event["cat"] == "exec"
+
+    def test_timestamps_normalized_to_earliest_span(self):
+        events = trace_events(traced_registry())
+        complete = [e for e in events if e["ph"] == "X"]
+        assert min(e["ts"] for e in complete) == pytest.approx(0.0)
+
+    def test_annotations_become_event_args(self):
+        events = trace_events(traced_registry())
+        task = next(e for e in events if e["name"] == "exec.task")
+        assert task["args"]["task"] == "PopulationEvalTask"
+
+    def test_counters_exported_as_counter_event(self):
+        events = trace_events(traced_registry())
+        counter = next(e for e in events if e["ph"] == "C")
+        assert counter["args"]["detector.joint.calls"] == 2.0
+
+    def test_process_metadata_per_pid_lane(self):
+        from dataclasses import replace
+
+        registry = traced_registry()
+        # Simulate a merged worker record: non-zero foreign pid.
+        registry.spans[0] = replace(registry.spans[0], pid=99999)
+        events = trace_events(registry)
+        meta = {e["pid"]: e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert meta[os.getpid()] == "repro main"
+        assert meta[99999] == "repro worker 99999"
+        # Metadata events come first so viewers name lanes before drawing.
+        phases = [e["ph"] for e in events]
+        assert phases[: phases.count("M")] == ["M"] * phases.count("M")
+
+    def test_empty_registry_yields_only_main_metadata(self):
+        events = trace_events(MetricsRegistry())
+        assert [e["ph"] for e in events] == ["M"]
+
+
+class TestWriteReadRoundTrip:
+    def test_round_trip_is_structurally_valid(self, tmp_path):
+        path = tmp_path / "trace.json"
+        registry = traced_registry()
+        count = write_trace(registry, path)
+        payload = read_trace(path)
+        assert len(payload["traceEvents"]) == count
+        assert payload["displayTimeUnit"] == "ms"
+        assert registry.counter_value("trace.events_written") == count
+
+    def test_read_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            read_trace(path)
+
+    def test_read_rejects_missing_trace_events(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"events": []}))
+        with pytest.raises(ValidationError, match="traceEvents"):
+            read_trace(path)
+
+    def test_read_rejects_event_without_phase(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"traceEvents": [{"name": "x"}]}))
+        with pytest.raises(ValidationError, match="'ph'/'name'"):
+            read_trace(path)
+
+    def test_read_rejects_complete_event_with_bad_timestamp(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "traceEvents": [
+                        {"name": "x", "ph": "X", "ts": "soon",
+                         "dur": 1, "pid": 1}
+                    ]
+                }
+            )
+        )
+        with pytest.raises(ValidationError, match="non-numeric 'ts'"):
+            read_trace(path)
+
+
+class TestSummarize:
+    def test_summary_mentions_lanes_and_longest_spans(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_trace(traced_registry(), path)
+        text = summarize_trace(read_trace(path))
+        assert "process lanes:" in text
+        assert str(os.getpid()) in text
+        assert "exec.map" in text
+
+    def test_summary_of_empty_trace(self):
+        text = summarize_trace({"traceEvents": []})
+        assert "0 events" in text
+        assert "(none)" in text
