@@ -19,7 +19,7 @@ two boost and two downgrade targets, one rating per rater per product).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,7 +35,13 @@ from repro.attacks.time_models import (
 from repro.errors import ChallengeRuleError, ValidationError
 from repro.utils.rng import SeedLike, resolve_rng
 
-__all__ = ["PopulationConfig", "generate_population"]
+__all__ = [
+    "PopulationConfig",
+    "SubmissionLabels",
+    "attacker_ids",
+    "generate_population",
+    "population_labels",
+]
 
 
 @dataclass(frozen=True)
@@ -80,6 +86,49 @@ class PopulationConfig:
         name0, count0 = counts[0]
         counts[0] = (name0, count0 + residue)
         return counts
+
+
+@dataclass(frozen=True)
+class SubmissionLabels:
+    """Ground-truth labels of one submission, for scorecard joins.
+
+    The quality layer (:mod:`repro.obs.quality`) judges detection
+    against what is *actually* unfair; this is the exported answer key:
+    which products each submission attacked, which rater identities it
+    used, and how many unfair ratings it injected.
+    """
+
+    submission_id: str
+    archetype: str
+    product_ids: Tuple[str, ...]
+    rater_ids: Tuple[str, ...]
+    n_unfair_ratings: int
+
+
+def population_labels(
+    population: Sequence[AttackSubmission],
+) -> Dict[str, SubmissionLabels]:
+    """Ground-truth labels keyed by submission id."""
+    labels: Dict[str, SubmissionLabels] = {}
+    for submission in population:
+        labels[submission.submission_id] = SubmissionLabels(
+            submission_id=submission.submission_id,
+            archetype=str(
+                submission.params.get("archetype", submission.strategy)
+            ),
+            product_ids=submission.product_ids,
+            rater_ids=submission.rater_ids(),
+            n_unfair_ratings=submission.total_ratings(),
+        )
+    return labels
+
+
+def attacker_ids(population: Sequence[AttackSubmission]) -> Tuple[str, ...]:
+    """The sorted union of rater identities used across a population."""
+    ids = set()
+    for submission in population:
+        ids.update(submission.rater_ids())
+    return tuple(sorted(ids))
 
 
 def _pick_targets(

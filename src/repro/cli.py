@@ -35,10 +35,21 @@ Two inspection subcommands close the loop: ``trace FILE`` validates and
 summarizes an exported trace, and ``runs list|show|diff|check`` reads a
 ledger -- ``runs check`` compares the latest run against a rolling
 baseline of comparable runs and exits 1 when result digests, stable
-metrics, or wall-clock regressed beyond the configured thresholds.
+metrics, or wall-clock regressed beyond the configured thresholds, and
+3 when no comparable baseline exists (nothing was checked -- distinct
+from "checked and clean").
+
+Detection quality closes the last gap: ``report --out FILE`` runs a
+seeded challenge scenario end to end and writes a single self-contained
+HTML (or Markdown) run report -- ground-truth scorecards with
+per-detector confusion counts, an ROC sweep with an inline SVG curve,
+per-epoch trust trajectories, assumption-drift warnings, ledger and
+environment metadata -- with zero external asset references.  The
+``--report-out PATH`` global does the same for *any* invocation,
+rendering whatever its registry collected.
 
 Exit status is 0 on success, 1 on a detected regression (``runs check``),
-2 on argument errors.
+2 on argument errors, 3 when ``runs check`` found no comparable baseline.
 """
 
 from __future__ import annotations
@@ -56,7 +67,14 @@ from repro.aggregation import BetaFilterScheme, PScheme, SimpleAveragingScheme
 from repro.analysis.reporting import format_table
 from repro.attacks.base import ProductTarget
 from repro.detectors import JointDetector
-from repro.obs import MetricsRegistry, set_registry, setup_logging, write_json
+from repro.obs import (
+    MetricsRegistry,
+    report_from_registry,
+    set_registry,
+    setup_logging,
+    write_json,
+    write_report,
+)
 from repro.obs import ledger as run_ledger
 from repro.obs.trace import read_trace, summarize_trace, write_trace
 from repro.attacks.generator import AttackGenerator, AttackSpec
@@ -130,6 +148,11 @@ def build_parser() -> argparse.ArgumentParser:
              "timings, result digests, environment) to the JSONL ledger at "
              "PATH; inspect with the 'runs' subcommand "
              "(default for 'runs': $REPRO_LEDGER or .repro/ledger.jsonl)",
+    )
+    common.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="write a self-contained HTML (or Markdown, by extension) run "
+             "report of this invocation's telemetry to PATH",
     )
     common.add_argument(
         "--workers", type=int, default=0, metavar="N",
@@ -223,6 +246,31 @@ def build_parser() -> argparse.ArgumentParser:
     sensitivity.add_argument("--seed", type=int, default=0)
     sensitivity.add_argument("--fair-worlds", type=int, default=1)
     sensitivity.add_argument("--attacks", type=int, default=2)
+
+    report = add_parser(
+        "report", help="run a seeded challenge scenario and write a "
+                       "self-contained HTML/Markdown run report"
+    )
+    report.add_argument("--seed", type=int, default=7)
+    report.add_argument(
+        "--size", type=int, default=5,
+        help="synthetic attack submissions in the scenario (default 5)",
+    )
+    report.add_argument("--out", required=True, help="report output path")
+    report.add_argument(
+        "--title", default="Detection quality report",
+        help="report title",
+    )
+    report.add_argument(
+        "--roc-parameter", default="hc_suspicious_threshold",
+        help="DetectorConfig field swept for the ROC section",
+    )
+    report.add_argument(
+        "--roc-value", dest="roc_values", action="append", type=float,
+        default=None,
+        help="threshold value for the ROC sweep "
+             "(repeatable; default 0.85 0.92 0.96)",
+    )
 
     trace = add_parser(
         "trace", help="validate and summarize an exported trace JSON"
@@ -543,6 +591,152 @@ def _cmd_sensitivity(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from repro.attacks.population import population_labels
+    from repro.experiments.sensitivity import sweep_detector_parameter
+    from repro.obs import DriftMonitor, RocSweep, get_registry
+    from repro.obs.quality import aggregate_confusions, score_detection
+    from repro.trust.manager import TrustManager
+
+    registry = get_registry()
+    previous = None
+    if not registry.enabled:
+        # Without --metrics-out/--trace-out/--ledger nothing installed a
+        # collecting registry; install one locally so the report's counter
+        # and histogram sections have content.
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+    try:
+        epoch_days = 30.0
+        challenge = RatingChallenge(seed=args.seed)
+        population = generate_population(
+            challenge, PopulationConfig(size=args.size), seed=args.seed + 1
+        )
+        labels = population_labels(population)
+        detector = JointDetector()
+
+        # Ground-truth scorecards for every attacked product stream.
+        cards = []
+        scorecard_rows = []
+        for submission in population:
+            attacked = challenge.attacked_dataset(submission)
+            archetype = labels[submission.submission_id].archetype
+            for pid in submission.product_ids:
+                stream = attacked[pid]
+                card = score_detection(stream, detector.analyze(stream))
+                cards.append(card)
+                scorecard_rows.append(
+                    (
+                        f"{submission.submission_id}/{pid}",
+                        archetype,
+                        card.detected,
+                        card.detection_latency_days,
+                        card.bias_at_detection,
+                    )
+                )
+
+        # ROC sweep of one detector threshold.
+        roc_values = sorted(set(args.roc_values or (0.85, 0.92, 0.96)))
+        sweep = sweep_detector_parameter(
+            args.roc_parameter, roc_values,
+            n_fair_worlds=1, n_attacks=2, seed=args.seed,
+        )
+        roc = RocSweep(
+            parameter=args.roc_parameter,
+            points=sweep.roc_points(),
+            auc=sweep.auc(),
+        )
+
+        # Trust trajectories and drift checks on the first submission's
+        # attacked world (calibrating drift on the fair world).
+        first = population[0]
+        attacked = challenge.attacked_dataset(first)
+        marks = {
+            pid: detector.analyze(attacked[pid]).suspicious
+            for pid in attacked
+        }
+        epoch_times = []
+        edge = challenge.start_day + epoch_days
+        while edge < challenge.end_day + epoch_days:
+            epoch_times.append(edge)
+            edge += epoch_days
+        snapshots = TrustManager().run(attacked, marks, epoch_times)
+        attacker_set = set(first.rater_ids())
+        fair_set = {
+            rid
+            for pid in attacked
+            for rid in attacked[pid].rater_ids
+        } - attacker_set
+
+        def mean_trust(snapshot, ids):
+            if not ids:
+                return 0.5
+            return float(np.mean([snapshot.value(rid) for rid in ids]))
+
+        trust_trajectories = {
+            f"attackers ({first.submission_id})": [
+                mean_trust(s, attacker_set) for s in snapshots
+            ],
+            "fair raters": [mean_trust(s, fair_set) for s in snapshots],
+        }
+
+        monitor = DriftMonitor(registry=registry)
+        monitor.calibrate(challenge.fair_dataset)
+        drift_warnings = []
+        window_start = challenge.start_day
+        for edge in epoch_times:
+            drift_warnings.extend(
+                monitor.check_epoch(attacked, window_start, edge)
+            )
+            window_start = edge
+
+        ledger_rows = [
+            (
+                record.run_id,
+                record.when,
+                record.command,
+                record.status,
+                record.timings.get("wall_seconds", 0.0),
+            )
+            for record in run_ledger.RunLedger(
+                _runs_ledger_path(args)
+            ).tail(8)
+        ]
+
+        data = report_from_registry(
+            registry,
+            title=args.title,
+            environment=run_ledger.runtime_environment(),
+            ledger_rows=ledger_rows,
+            notes=(
+                f"seeded challenge scenario: seed={args.seed}, "
+                f"population size {args.size}",
+                f"{len(cards)} attacked product streams judged against "
+                f"ground-truth labels",
+            ),
+        )
+        data.confusions = aggregate_confusions(cards)
+        data.scorecard_rows = scorecard_rows
+        data.roc = roc
+        data.trust_trajectories = trust_trajectories
+        data.drift_warnings = tuple(str(w) for w in drift_warnings)
+        kind = write_report(data, args.out)
+
+        detected = sum(1 for card in cards if card.detected)
+        run_ledger.record_digest("report.streams_scored", len(cards))
+        run_ledger.record_digest("report.detected_streams", detected)
+        run_ledger.record_digest("report.roc_auc", roc.auc)
+        print(
+            f"{kind} report written to {args.out}: {detected}/{len(cards)} "
+            f"attacked streams detected, ROC AUC {roc.auc:.3f}, "
+            f"{len(drift_warnings)} drift warning(s)"
+        )
+        return 0
+    finally:
+        if previous is not None:
+            set_registry(previous)
+
+
 def _cmd_trace(args) -> int:
     payload = read_trace(args.trace_file)
     print(f"trace {args.trace_file}: structurally valid")
@@ -597,7 +791,10 @@ def _cmd_runs(args) -> int:
         digest_tolerance=args.digest_tolerance,
     )
     print(report.to_text())
-    return 0 if report.ok else 1
+    if not report.ok:
+        return 1
+    # Distinct exit code: nothing was comparable, so nothing was checked.
+    return 3 if report.no_baseline else 0
 
 
 _COMMANDS = {
@@ -609,6 +806,7 @@ _COMMANDS = {
     "search": _cmd_search,
     "ablation": _cmd_ablation,
     "sensitivity": _cmd_sensitivity,
+    "report": _cmd_report,
     "trace": _cmd_trace,
     "runs": _cmd_runs,
 }
@@ -624,7 +822,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     setup_logging(args.log_level)
     recording = args.command not in _INSPECTION_COMMANDS
     registry = previous = capture = None
-    if recording and (args.metrics_out or args.trace_out or args.ledger):
+    if recording and (
+        args.metrics_out or args.trace_out or args.ledger or args.report_out
+    ):
         # Collect this invocation's pipeline telemetry and persist it.
         registry = MetricsRegistry()
         previous = set_registry(registry)
@@ -681,6 +881,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         except OSError as exc:
             print(f"error: cannot append to ledger: {exc}", file=sys.stderr)
+            status = status or 2
+    if args.report_out:
+        trace_summary = None
+        if args.trace_out:
+            try:
+                trace_summary = summarize_trace(read_trace(args.trace_out))
+            except (OSError, ReproError, ValueError):
+                trace_summary = None
+        data = report_from_registry(
+            registry,
+            title=f"repro {args.command} run report",
+            environment=run_ledger.runtime_environment(),
+            trace_summary=trace_summary,
+        )
+        try:
+            kind = write_report(data, args.report_out)
+            print(
+                f"{kind} report written to {args.report_out}",
+                file=sys.stderr,
+            )
+        except OSError as exc:
+            print(f"error: cannot write report: {exc}", file=sys.stderr)
             status = status or 2
     return status
 

@@ -24,7 +24,11 @@ sub-detectors contributed, as ``PROV_*`` bit flags per rating
 :class:`DetectionReport`, feeding per-decision attribution (the CLI's
 ``detect --explain``) without re-running detection.  Per-sub-detector
 wall-clock timings are recorded into the active metrics registry under
-``detector.<kind>.seconds``.
+``detector.<kind>.seconds``; when a collecting registry is active, each
+verdict is additionally joined against the stream's ground-truth unfair
+labels into a :mod:`repro.obs.quality` scorecard (``quality.*``
+counters: per-detector confusion cells, detection latency, bias at
+detection).
 
 Implementation note: the paper issues the Path 2 alarm only when the ARC
 curve "does not have such a U-shape"; we raise it whenever the curve
@@ -268,7 +272,7 @@ class JointDetector:
             "HC": hc_report.curve,
             "ME": me_report.curve,
         }
-        return DetectionReport(
+        report = DetectionReport(
             product_id=stream.product_id,
             suspicious=mask,
             path1_intervals=tuple(path1),
@@ -277,6 +281,17 @@ class JointDetector:
             curves=curves,
             alarms={"H-ARC": harc_report.alarm, "L-ARC": larc_report.alarm},
         )
+        if registry.enabled:
+            # Join the verdict against the stream's ground-truth unfair
+            # labels and fold the scorecard into the registry, so every
+            # detection pass contributes to the quality.* namespace.
+            # (Imported here: repro.obs.quality needs the provenance
+            # flags from this package, so a top-level import would be
+            # circular.)
+            from repro.obs.quality import emit_scorecard, score_detection
+
+            emit_scorecard(score_detection(stream, report), registry)
+        return report
 
     def analyze_dataset(
         self,

@@ -21,6 +21,7 @@ from repro.attacks.optimizer import (
 from repro.attacks.time_models import ConcentratedBurst, EvenlySpaced, UniformWindow
 from repro.detectors.integration import JointDetector
 from repro.experiments.context import ExperimentContext
+from repro.obs.quality import Scorecard, score_detection
 
 __all__ = [
     "BiasVarianceFigure",
@@ -416,10 +417,16 @@ def run_headline_comparison(context: ExperimentContext) -> HeadlineComparison:
 
 @dataclass(frozen=True)
 class OperatingPoints:
-    """Detection quality on scripted attacks plus fair-data false alarms."""
+    """Detection quality on scripted attacks plus fair-data false alarms.
+
+    ``scorecards`` (one per attack row, in order) carries the full
+    ground-truth join behind each row: provenance-attributed confusion
+    counts, detection latency, and bias at detection.
+    """
 
     false_alarm_rate: float
     attack_rows: Tuple[Tuple[str, float, float], ...]  # (name, recall, collateral)
+    scorecards: Tuple["Scorecard", ...] = ()
 
     def to_text(self) -> str:
         table = format_table(
@@ -427,7 +434,16 @@ class OperatingPoints:
             self.attack_rows,
             title="Joint detector operating points",
         )
-        return table + f"\nfalse alarm rate on fair-only data: {self.false_alarm_rate:.4f}"
+        text = table + f"\nfalse alarm rate on fair-only data: {self.false_alarm_rate:.4f}"
+        if self.scorecards:
+            latencies = [
+                f"{card.detection_latency_days:.1f}d"
+                if card.detection_latency_days is not None
+                else "undetected"
+                for card in self.scorecards
+            ]
+            text += f"\ndetection latency per attack: {', '.join(latencies)}"
+        return text
 
 
 def run_operating_points(context: ExperimentContext) -> OperatingPoints:
@@ -467,21 +483,21 @@ def run_operating_points(context: ExperimentContext) -> OperatingPoints:
         ),
     ]
     rows: List[Tuple[str, float, float]] = []
+    cards: List[Scorecard] = []
     for name, spec in scripted:
         target = ProductTarget(product_ids[0], -1)
         submission = generator.generate([target], spec)
         attacked = challenge.fair_dataset.merge(submission.as_dict())
         stream = attacked[product_ids[0]]
         report = detector.analyze(stream)
+        card = score_detection(stream, report)
+        cards.append(card)
         unfair_mask = stream.unfair
-        recall = (
-            float((report.suspicious & unfair_mask).sum()) / max(int(unfair_mask.sum()), 1)
-        )
-        collateral = (
-            float((report.suspicious & ~unfair_mask).sum())
-            / max(int((~unfair_mask).sum()), 1)
-        )
+        recall = float(card.joint.tp) / max(int(unfair_mask.sum()), 1)
+        collateral = float(card.joint.fp) / max(int((~unfair_mask).sum()), 1)
         rows.append((name, recall, collateral))
     return OperatingPoints(
-        false_alarm_rate=false_alarm_rate, attack_rows=tuple(rows)
+        false_alarm_rate=false_alarm_rate,
+        attack_rows=tuple(rows),
+        scorecards=tuple(cards),
     )

@@ -13,6 +13,12 @@ value,
 
 giving the ROC-style trade-off curve a deployer needs when adapting the
 P-scheme to a rating site with different fair-traffic statistics.
+
+Each attacked case is judged through a :mod:`repro.obs.quality`
+scorecard (provenance-attributed confusion counts, detection latency,
+bias at detection), carried on the :class:`OperatingPoint`; the sweep
+summarizes itself as ROC points and a trapezoidal AUC
+(:meth:`SensitivityResult.roc_points` / :meth:`SensitivityResult.auc`).
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from repro.detectors.integration import JointDetector
 from repro.errors import ValidationError
 from repro.marketplace.challenge import RatingChallenge
 from repro.marketplace.fair_ratings import FairRatingGenerator
+from repro.obs.quality import Scorecard, roc_auc, score_detection
 
 __all__ = [
     "OperatingPoint",
@@ -42,12 +49,19 @@ __all__ = [
 
 @dataclass(frozen=True)
 class OperatingPoint:
-    """Detector quality at one parameter value."""
+    """Detector quality at one parameter value.
+
+    ``scorecards`` holds one ground-truth scorecard per attacked case
+    (in case order), so the provenance-attributed confusion counts and
+    detection latencies behind ``recall``/``collateral`` stay
+    inspectable after the sweep.
+    """
 
     value: float
     false_alarm_rate: float
     recall: float
     collateral: float
+    scorecards: Tuple[Scorecard, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -62,12 +76,13 @@ class SensitivityResult:
             (p.value, p.false_alarm_rate, p.recall, p.collateral)
             for p in self.points
         ]
-        return format_table(
+        table = format_table(
             [self.parameter, "false alarms", "recall", "collateral"],
             rows,
             float_format=".4f",
             title=f"Detector sensitivity to {self.parameter}",
         )
+        return table + f"\nROC AUC (trapezoid, anchored): {self.auc():.4f}"
 
     def false_alarm_curve(self) -> np.ndarray:
         """False-alarm rates in sweep order."""
@@ -77,12 +92,26 @@ class SensitivityResult:
         """Recall values in sweep order."""
         return np.asarray([p.recall for p in self.points])
 
+    def roc_points(self) -> Tuple[Tuple[float, float, float], ...]:
+        """``(value, false_alarm_rate, recall)`` sorted by parameter value."""
+        return tuple(
+            sorted(
+                (p.value, p.false_alarm_rate, p.recall) for p in self.points
+            ),
+        )
+
+    def auc(self) -> float:
+        """Trapezoidal AUC over the sweep's (false-alarm, recall) pairs."""
+        return roc_auc(
+            [(p.false_alarm_rate, p.recall) for p in self.points]
+        )
+
 
 def _measure(
     config: DetectorConfig,
     fair_datasets,
     attacked_cases,
-) -> Tuple[float, float, float]:
+) -> Tuple[float, float, float, Tuple[Scorecard, ...]]:
     detector = JointDetector(config)
     marked = total = 0
     for dataset in fair_datasets:
@@ -93,17 +122,24 @@ def _measure(
     false_alarm = marked / max(total, 1)
     recalls: List[float] = []
     collaterals: List[float] = []
+    cards: List[Scorecard] = []
     for stream in attacked_cases:
         report = detector.analyze(stream)
+        card = score_detection(stream, report)
+        cards.append(card)
         unfair = stream.unfair
         recalls.append(
-            float((report.suspicious & unfair).sum()) / max(int(unfair.sum()), 1)
+            float(card.joint.tp) / max(int(unfair.sum()), 1)
         )
         collaterals.append(
-            float((report.suspicious & ~unfair).sum())
-            / max(int((~unfair).sum()), 1)
+            float(card.joint.fp) / max(int((~unfair).sum()), 1)
         )
-    return false_alarm, float(np.mean(recalls)), float(np.mean(collaterals))
+    return (
+        false_alarm,
+        float(np.mean(recalls)),
+        float(np.mean(collaterals)),
+        tuple(cards),
+    )
 
 
 #: Process-local cache of sweep fixtures (fair worlds + attacked
@@ -190,7 +226,7 @@ def measure_operating_point(
         attack_ratings, attack_duration, seed,
     )
     config = replace(base, **{parameter: value})
-    false_alarm, recall, collateral = _measure(
+    false_alarm, recall, collateral, cards = _measure(
         config, fair_datasets, attacked_cases
     )
     return OperatingPoint(
@@ -198,6 +234,7 @@ def measure_operating_point(
         false_alarm_rate=false_alarm,
         recall=recall,
         collateral=collateral,
+        scorecards=cards,
     )
 
 

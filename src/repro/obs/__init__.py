@@ -23,6 +23,15 @@ this package:
   one lane per worker process.
 - :class:`RunLedger` / :func:`check_ledger` -- the persistent run ledger
   (JSONL, one record per invocation) and its regression checker.
+- :func:`score_detection` / :class:`Scorecard` -- ground-truth detection
+  scorecards: provenance-attributed confusion counts, detection latency,
+  bias at detection, folded into ``quality.*`` metrics.
+- :class:`DriftMonitor` -- assumption drift monitors (Poisson arrival
+  dispersion, residual whiteness, mean drift) raising structured
+  warnings and ``drift.*`` counters.
+- :func:`render_html` / :func:`write_report` -- the self-contained
+  HTML/Markdown run-report generator (inline SVG sparklines, zero
+  external assets).
 
 Quickstart::
 
@@ -59,6 +68,34 @@ from repro.obs.registry import (
 )
 from repro.obs.spans import SpanRecord, current_span_path, fresh_span_stack, span
 
+# Imported last: repro.obs.quality pulls in repro.detectors, whose
+# modules import the names above from this (then partially initialized)
+# package.
+from repro.obs.drift import (  # noqa: E402
+    DriftMonitor,
+    DriftMonitorConfig,
+    DriftWarning,
+)
+from repro.obs.quality import (  # noqa: E402
+    ConfusionCounts,
+    Scorecard,
+    aggregate_confusions,
+    emit_scorecard,
+    roc_auc,
+    score_detection,
+)
+from repro.obs.report import (  # noqa: E402
+    ReportData,
+    RocSweep,
+    confusion_from_counters,
+    render_html,
+    render_markdown,
+    report_from_registry,
+    svg_roc,
+    svg_sparkline,
+    write_report,
+)
+
 __all__ = [
     "TelemetryCapsule",
     "RunLedger",
@@ -87,4 +124,22 @@ __all__ = [
     "format_metrics",
     "registry_to_dict",
     "write_json",
+    "ConfusionCounts",
+    "Scorecard",
+    "aggregate_confusions",
+    "emit_scorecard",
+    "roc_auc",
+    "score_detection",
+    "DriftMonitor",
+    "DriftMonitorConfig",
+    "DriftWarning",
+    "ReportData",
+    "RocSweep",
+    "confusion_from_counters",
+    "render_html",
+    "render_markdown",
+    "report_from_registry",
+    "svg_roc",
+    "svg_sparkline",
+    "write_report",
 ]

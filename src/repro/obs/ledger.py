@@ -373,12 +373,20 @@ class RegressionFinding:
 
 @dataclass
 class CheckReport:
-    """Outcome of comparing the latest run against its rolling baseline."""
+    """Outcome of comparing the latest run against its rolling baseline.
+
+    ``ok`` means no regression was *found*; ``no_baseline`` flags that
+    nothing could be compared at all (empty ledger, or zero earlier runs
+    with the same command + workload) -- a distinct outcome the CLI maps
+    to its own exit code so CI never mistakes "nothing to compare" for
+    "checked and clean".
+    """
 
     latest: Optional[RunRecord]
     baseline_size: int
     findings: List[RegressionFinding] = field(default_factory=list)
     notice: Optional[str] = None
+    no_baseline: bool = False
 
     @property
     def ok(self) -> bool:
@@ -437,7 +445,8 @@ def check_ledger(
     records = list(ledger.records())
     if not records:
         return CheckReport(latest=None, baseline_size=0,
-                           notice=f"ledger {ledger.path} is empty")
+                           notice=f"ledger {ledger.path} is empty",
+                           no_baseline=True)
     latest = records[-1]
     findings: List[RegressionFinding] = []
     if latest.status != 0:
@@ -459,8 +468,10 @@ def check_ledger(
             notice=(
                 None
                 if findings
-                else "no comparable baseline runs yet (same command + workload)"
+                else "NO BASELINE -- no comparable baseline runs yet "
+                     "(same command + workload); nothing was checked"
             ),
+            no_baseline=True,
         )
     # Result digests: exact by default; any drift is a quality regression.
     for name in sorted(latest.digests):

@@ -150,7 +150,7 @@ def read_trace(path: os.PathLike) -> Dict[str, object]:
 
 
 def summarize_trace(payload: Dict[str, object], top: int = 10) -> str:
-    """A text digest of a loaded trace (lanes, phases, longest spans)."""
+    """A text digest of a loaded trace (lanes, phases, cache, longest spans)."""
     events = payload["traceEvents"]
     complete = [e for e in events if e.get("ph") == "X"]
     phases: Dict[str, int] = {}
@@ -162,6 +162,27 @@ def summarize_trace(payload: Dict[str, object], top: int = 10) -> str:
         f"({', '.join(f'{n} {ph!r}' for ph, n in sorted(phases.items()))})",
         f"process lanes: {', '.join(str(p) for p in lanes) or '(none)'}",
     ]
+    # MP-cache effectiveness, from the final-counters event.  Hit rate
+    # is hits / (hits + misses): a fully warm run dispatches zero tasks
+    # but still answers every lookup from the cache, so task counts
+    # would wrongly report 0.
+    counters: Dict[str, float] = {}
+    for event in events:
+        if event.get("ph") == "C" and event.get("name") == "final counters":
+            counters.update(event.get("args", {}))
+    hits = float(counters.get("exec.cache.hits", 0))
+    lookups = hits + float(counters.get("exec.cache.misses", 0))
+    if lookups:
+        cache_line = (
+            f"MP cache: {hits:g}/{lookups:g} lookups hit "
+            f"({hits / lookups:.0%})"
+        )
+        corrupt = float(counters.get("exec.cache.corrupt", 0))
+        if corrupt:
+            cache_line += (
+                f"; {corrupt:g} corrupt entries treated as misses"
+            )
+        lines.append(cache_line)
     if complete:
         span_end = max(float(e["ts"]) + float(e["dur"]) for e in complete)
         lines.append(f"trace span: {span_end / 1e3:.2f} ms")

@@ -24,6 +24,14 @@ recompute-from-history policy; the snapshot returned by
 Each report also carries a ``telemetry`` block (ingest rate, late-rating
 totals, scheme latency), and the same signals flow into the active
 metrics registry under ``online.*``.
+
+Every epoch close also runs the :mod:`repro.obs.drift` assumption
+monitors over the closed window (Poisson arrival dispersion, residual
+whiteness, mean drift vs the calibrated fair model): violations are
+published as ``EpochReport.drift_warnings``, logged, and counted under
+``drift.*``.  The monitor calibrates its fair mean from the pre-start
+history when one is supplied, else from the first monitored window.
+Pass ``monitor_drift=False`` to disable.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ValidationError
 from repro.obs import get_logger
+from repro.obs.drift import DriftMonitor, DriftMonitorConfig, DriftWarning
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.types import Rating, RatingDataset, RatingStream
 
@@ -51,8 +60,10 @@ class EpochReport:
     at the time the report was materialized -- see the module docstring).
     ``telemetry`` carries operational measurements: ``ratings_ingested``,
     ``ingest_rate_per_day``, ``late_ratings_total`` (cumulative across the
-    system), and ``scheme_seconds`` (wall-clock cost of the aggregation
-    scheme for this close).
+    system), ``scheme_seconds`` (wall-clock cost of the aggregation
+    scheme for this close), and ``drift_warnings`` (assumption
+    violations raised for this epoch).  ``drift_warnings`` holds the
+    structured :class:`~repro.obs.drift.DriftWarning` records themselves.
     """
 
     epoch_index: int
@@ -62,6 +73,7 @@ class EpochReport:
     ratings_ingested: int
     late_ratings: int
     telemetry: Mapping[str, float] = field(default_factory=dict)
+    drift_warnings: Tuple[DriftWarning, ...] = ()
 
     def score_of(self, product_id: str) -> float:
         """Published score for ``product_id`` (NaN when unscored)."""
@@ -85,6 +97,13 @@ class OnlineRatingSystem:
     registry:
         Metrics sink for this system's telemetry; ``None`` uses the
         globally active registry at call time.
+    monitor_drift:
+        Run the :mod:`repro.obs.drift` assumption monitors on every
+        epoch close (default on).
+    drift_config:
+        Monitor tunables; ``None`` uses the calibrated defaults.  When
+        its ``fair_mean`` is unset the monitor calibrates from
+        ``history`` (or self-calibrates on the first monitored window).
     """
 
     def __init__(
@@ -94,6 +113,8 @@ class OnlineRatingSystem:
         period_days: float = 30.0,
         history: Optional[RatingDataset] = None,
         registry: Optional[MetricsRegistry] = None,
+        monitor_drift: bool = True,
+        drift_config: Optional[DriftMonitorConfig] = None,
     ) -> None:
         if period_days <= 0:
             raise ValidationError(f"period_days must be > 0, got {period_days}")
@@ -110,6 +131,13 @@ class OnlineRatingSystem:
                     self._history_floor = min(
                         self._history_floor, float(stream.times[0])
                     )
+        self.drift_monitor: Optional[DriftMonitor] = None
+        if monitor_drift:
+            self.drift_monitor = DriftMonitor(
+                config=drift_config, registry=registry
+            )
+            if history is not None and history.total_ratings():
+                self.drift_monitor.calibrate(history)
         self._epochs_closed = 0
         self._ingested_this_epoch = 0
         # Late arrivals keyed by the epoch index their timestamp lands in.
@@ -201,11 +229,17 @@ class OnlineRatingSystem:
         else:
             scores = {}
         ingested = self._ingested_this_epoch
+        drift_warnings: Tuple[DriftWarning, ...] = ()
+        if self.drift_monitor is not None and len(snapshot):
+            drift_warnings = tuple(
+                self.drift_monitor.check_epoch(snapshot, epoch_start, epoch_end)
+            )
         telemetry = {
             "ratings_ingested": float(ingested),
             "ingest_rate_per_day": ingested / self.period_days,
             "late_ratings_total": float(self._late_total),
             "scheme_seconds": scheme_seconds,
+            "drift_warnings": float(len(drift_warnings)),
         }
         report = EpochReport(
             epoch_index=self._epochs_closed,
@@ -215,6 +249,7 @@ class OnlineRatingSystem:
             ratings_ingested=ingested,
             late_ratings=self._late_by_epoch.get(self._epochs_closed, 0),
             telemetry=telemetry,
+            drift_warnings=drift_warnings,
         )
         self._reports.append(report)
         self._epochs_closed += 1

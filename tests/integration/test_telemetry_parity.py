@@ -94,6 +94,23 @@ class TestSerialParallelTelemetryParity:
         # The comparison is not vacuous: detection/trust pipelines fired.
         assert any(n.startswith("detector.") for n in serial_counters)
 
+    def test_quality_scorecard_counters_identical(self, serial, parallel):
+        """Ground-truth confusion counters are bit-identical at any
+        worker count -- the scorecard join travels through capsules."""
+        pick = lambda reg: {  # noqa: E731
+            n: v
+            for n, v in comparable_counters(reg).items()
+            if n.startswith("quality.")
+        }
+        serial_quality = pick(serial[0])
+        assert serial_quality == pick(parallel[0])
+        # Non-vacuous: the P-scheme run emitted real confusion cells.
+        assert serial_quality.get("quality.scorecards", 0) > 0
+        assert any(
+            name.endswith((".tp", ".fp", ".fn", ".tn"))
+            for name in serial_quality
+        )
+
     def test_gauges_identical_modulo_exec(self, serial, parallel):
         gauges = lambda reg: {  # noqa: E731
             n: v

@@ -289,3 +289,81 @@ class TestSensitivityCommand:
              "--fair-worlds", "1", "--attacks", "1"]
         )
         assert code == 2
+
+    def test_sensitivity_prints_auc(self, capsys):
+        code = main(
+            ["sensitivity", "--parameter", "hc_suspicious_threshold",
+             "--value", "0.85", "--value", "0.96", "--fair-worlds", "1",
+             "--attacks", "1"]
+        )
+        assert code == 0
+        assert "ROC AUC" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    @pytest.fixture(scope="class")
+    def html_report(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("report") / "run.html"
+        code = main(
+            ["report", "--seed", "7", "--size", "4", "--out", str(path)]
+        )
+        assert code == 0
+        return path.read_text()
+
+    def test_report_is_self_contained(self, html_report):
+        # The acceptance bar: one file, zero external asset references.
+        assert html_report.startswith("<!DOCTYPE html>")
+        assert "http" not in html_report
+        assert "<script" not in html_report
+        assert "<link" not in html_report
+
+    def test_report_has_confusion_counts_per_detector(self, html_report):
+        assert "Detection scorecard" in html_report
+        assert "<td>joint</td>" in html_report
+        assert "<td>path1</td>" in html_report
+        assert "<th>tp</th>" in html_report
+
+    def test_report_has_roc_sparkline(self, html_report):
+        assert "ROC sweep" in html_report
+        assert html_report.count("<svg") >= 1
+        assert "polyline" in html_report
+
+    def test_report_has_environment_and_drift_sections(self, html_report):
+        assert "Environment" in html_report
+        assert "git_sha" in html_report
+        assert "Assumption drift" in html_report
+
+    def test_markdown_extension_selects_markdown(self, tmp_path, capsys):
+        path = tmp_path / "run.md"
+        code = main(
+            ["report", "--seed", "7", "--size", "3", "--out", str(path)]
+        )
+        assert code == 0
+        assert "markdown report written" in capsys.readouterr().out
+        assert path.read_text().startswith("# Detection quality report")
+
+
+class TestReportOutGlobal:
+    def test_any_command_can_write_a_report(self, small_world, tmp_path,
+                                            capsys):
+        path = tmp_path / "detect.html"
+        code = main(
+            ["detect", "--world", str(small_world), "--product", "tv1",
+             "--report-out", str(path)]
+        )
+        assert code == 0
+        text = path.read_text()
+        assert "http" not in text
+        assert "Counters" in text
+        assert "detect" in text  # title mentions the command
+
+    def test_trace_summary_folded_into_report(self, small_world, tmp_path):
+        report_path = tmp_path / "detect.html"
+        trace_path = tmp_path / "detect.trace.json"
+        code = main(
+            ["detect", "--world", str(small_world), "--product", "tv1",
+             "--report-out", str(report_path),
+             "--trace-out", str(trace_path)]
+        )
+        assert code == 0
+        assert "Trace summary" in report_path.read_text()

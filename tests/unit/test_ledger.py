@@ -262,7 +262,9 @@ class TestCheckLedger:
         report = check_ledger(ledger)
         assert report.baseline_size == 0
         assert report.ok
+        assert report.no_baseline
         assert "no comparable baseline" in report.to_text()
+        assert "NO BASELINE" in report.to_text()
 
     def test_fingerprintless_runs_compare_by_argv(self, tmp_path):
         # Legacy serial CLI runs carry no workload fingerprint; two such
@@ -290,7 +292,14 @@ class TestCheckLedger:
     def test_empty_ledger_reports_notice(self, tmp_path):
         report = check_ledger(self.write(tmp_path, []))
         assert report.ok
+        assert report.no_baseline
         assert "empty" in report.to_text()
+
+    def test_comparable_baseline_clears_no_baseline_flag(self, tmp_path):
+        ledger = self.write(
+            tmp_path, self.baseline() + [make_record("latest", timestamp=2000.0)]
+        )
+        assert not check_ledger(ledger).no_baseline
 
 
 class TestRunsCli:
@@ -339,6 +348,20 @@ class TestRunsCli:
         assert main(["runs", "check", "--ledger", str(path)]) == 1
         out = capsys.readouterr().out
         assert "result-digest" in out and "timing" in out
+
+    def test_runs_check_without_baseline_exits_3(self, tmp_path, capsys):
+        from repro.cli import main
+
+        # Empty ledger: nothing to check at all.
+        empty = tmp_path / "empty.jsonl"
+        assert main(["runs", "check", "--ledger", str(empty)]) == 3
+        # One record, zero comparable earlier runs: same distinct code.
+        path = tmp_path / "one.jsonl"
+        with use_registry(MetricsRegistry()):
+            RunLedger(path).append(make_record("only01"))
+        assert main(["runs", "check", "--ledger", str(path)]) == 3
+        out = capsys.readouterr().out
+        assert "no comparable baseline" in out
 
     def test_runs_commands_do_not_append_to_the_ledger(self, tmp_path):
         from repro.cli import main

@@ -133,3 +133,33 @@ class TestSummarize:
         text = summarize_trace({"traceEvents": []})
         assert "0 events" in text
         assert "(none)" in text
+
+    def test_cache_hit_rate_from_counters(self):
+        registry = MetricsRegistry()
+        registry.inc("exec.cache.hits", 3)
+        registry.inc("exec.cache.misses", 1)
+        text = summarize_trace({"traceEvents": trace_events(registry)})
+        assert "MP cache: 3/4 lookups hit (75%)" in text
+        assert "corrupt" not in text
+
+    def test_cache_line_on_fully_warm_run(self):
+        # A warm run dispatches zero tasks but answers every lookup from
+        # the cache; the hit rate must still read 100%, not 0.
+        registry = MetricsRegistry()
+        registry.inc("exec.cache.hits", 8)
+        text = summarize_trace({"traceEvents": trace_events(registry)})
+        assert "MP cache: 8/8 lookups hit (100%)" in text
+
+    def test_corrupt_entries_surfaced(self):
+        registry = MetricsRegistry()
+        registry.inc("exec.cache.hits", 2)
+        registry.inc("exec.cache.misses", 2)
+        registry.inc("exec.cache.corrupt", 1)
+        text = summarize_trace({"traceEvents": trace_events(registry)})
+        assert "1 corrupt entries treated as misses" in text
+
+    def test_no_cache_line_without_lookups(self):
+        text = summarize_trace(
+            {"traceEvents": trace_events(traced_registry())}
+        )
+        assert "MP cache" not in text
