@@ -9,7 +9,6 @@ value.
 
 from conftest import record
 
-from repro.analysis.reporting import format_table
 from repro.experiments import run_headline_comparison
 
 

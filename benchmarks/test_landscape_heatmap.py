@@ -9,7 +9,6 @@ region story as the scatter plots, free of population sampling noise:
   columns at medium/large bias (variance is the evasion dimension).
 """
 
-import numpy as np
 from conftest import record
 
 from repro.analysis.landscape import sweep_landscape

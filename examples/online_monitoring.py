@@ -19,7 +19,6 @@ Run with::
 
 import sys
 
-import numpy as np
 
 from repro import PScheme, RatingChallenge, SimpleAveragingScheme
 from repro.analysis.reporting import format_table
@@ -27,7 +26,7 @@ from repro.attacks import AttackGenerator, AttackSpec, ProductTarget
 from repro.attacks.time_models import ConcentratedBurst, UniformWindow
 from repro.obs import MetricsRegistry, report_from_registry, use_registry, write_report
 from repro.online import OnlineRatingSystem
-from repro.types import Rating, RatingDataset
+from repro.types import RatingDataset
 
 
 def split_history(challenge):

@@ -48,8 +48,14 @@ environment metadata -- with zero external asset references.  The
 ``--report-out PATH`` global does the same for *any* invocation,
 rendering whatever its registry collected.
 
-Exit status is 0 on success, 1 on a detected regression (``runs check``),
-2 on argument errors, 3 when ``runs check`` found no comparable baseline.
+``lint`` runs :mod:`repro.lint`, the AST-based invariant checker that
+machine-verifies the determinism contract (seeded RNGs, pickle-safe task
+payloads, catalogued metric names, wall-clock hygiene, span balance,
+ordered iteration near fingerprints); see ``docs/LINT.md``.
+
+Exit status is 0 on success, 1 on a detected regression (``runs check``)
+or a non-baselined lint finding, 2 on argument errors, 3 when ``runs
+check`` found no comparable baseline.
 """
 
 from __future__ import annotations
@@ -66,21 +72,11 @@ import numpy as np
 from repro.aggregation import BetaFilterScheme, PScheme, SimpleAveragingScheme
 from repro.analysis.reporting import format_table
 from repro.attacks.base import ProductTarget
-from repro.detectors import JointDetector
-from repro.obs import (
-    MetricsRegistry,
-    report_from_registry,
-    set_registry,
-    setup_logging,
-    write_json,
-    write_report,
-)
-from repro.obs import ledger as run_ledger
-from repro.obs.trace import read_trace, summarize_trace, write_trace
 from repro.attacks.generator import AttackGenerator, AttackSpec
 from repro.attacks.optimizer import SearchArea, heuristic_region_search
 from repro.attacks.population import PopulationConfig, generate_population
 from repro.attacks.time_models import UniformWindow
+from repro.detectors import JointDetector
 from repro.errors import ReproError
 from repro.marketplace.challenge import RatingChallenge
 from repro.marketplace.fair_ratings import FairRatingConfig, FairRatingGenerator
@@ -90,6 +86,16 @@ from repro.marketplace.io import (
     save_dataset_csv,
     save_submission_json,
 )
+from repro.obs import (
+    MetricsRegistry,
+    ledger as run_ledger,
+    report_from_registry,
+    set_registry,
+    setup_logging,
+    write_json,
+    write_report,
+)
+from repro.obs.trace import read_trace, summarize_trace, write_trace
 
 __all__ = ["main", "build_parser"]
 
@@ -280,6 +286,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=10, help="longest spans to list"
     )
 
+    lint = add_parser(
+        "lint", help="run the AST-based invariant checker (repro.lint)"
+    )
+    lint.add_argument(
+        "lint_paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: src, else .)",
+    )
+    lint.add_argument(
+        "--json", dest="lint_json", metavar="PATH", default=None,
+        help="also write the findings as structured JSON to PATH",
+    )
+    lint.add_argument(
+        "--baseline", dest="lint_baseline", metavar="PATH", default=None,
+        help="baseline file of accepted findings "
+             "(default: .repro-lint-baseline.json when it exists)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--select", dest="lint_select", metavar="IDS", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--ignore", dest="lint_ignore", metavar="IDS", default=None,
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--no-stale", action="store_true",
+        help="skip the metric-stale direction (for partial trees)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+
     runs = add_parser(
         "runs", help="inspect the run ledger (list/show/diff/check)"
     )
@@ -324,7 +371,8 @@ def build_parser() -> argparse.ArgumentParser:
 # --------------------------------------------------------------------- #
 
 
-def _cmd_world(args) -> int:
+# The seed rides inside the argparse namespace (``args.seed``).
+def _cmd_world(args) -> int:  # lint: ignore[rng-missing-param]
     config = FairRatingConfig(
         duration_days=args.duration_days,
         history_days=args.history_days,
@@ -737,6 +785,29 @@ def _cmd_report(args) -> int:
             set_registry(previous)
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import main as lint_main
+
+    forwarded = list(args.lint_paths)
+    if args.lint_json:
+        forwarded += ["--json", args.lint_json]
+    if args.lint_baseline:
+        forwarded += ["--baseline", args.lint_baseline]
+    if args.no_baseline:
+        forwarded.append("--no-baseline")
+    if args.update_baseline:
+        forwarded.append("--update-baseline")
+    if args.lint_select:
+        forwarded += ["--select", args.lint_select]
+    if args.lint_ignore:
+        forwarded += ["--ignore", args.lint_ignore]
+    if args.no_stale:
+        forwarded.append("--no-stale")
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return lint_main(forwarded)
+
+
 def _cmd_trace(args) -> int:
     payload = read_trace(args.trace_file)
     print(f"trace {args.trace_file}: structurally valid")
@@ -807,12 +878,13 @@ _COMMANDS = {
     "ablation": _cmd_ablation,
     "sensitivity": _cmd_sensitivity,
     "report": _cmd_report,
+    "lint": _cmd_lint,
     "trace": _cmd_trace,
     "runs": _cmd_runs,
 }
 
 #: Inspection commands never record telemetry about themselves.
-_INSPECTION_COMMANDS = frozenset({"trace", "runs"})
+_INSPECTION_COMMANDS = frozenset({"lint", "trace", "runs"})
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -1,0 +1,212 @@
+"""repro.lint: AST-based invariant checking for the reproduction repo.
+
+Machine-checks the coding invariants the determinism and telemetry
+guarantees rest on (see ``docs/LINT.md`` for the rule catalog):
+
+========================  ============================================
+rule id                   invariant
+========================  ============================================
+``rng-unseeded``          RNG constructors must receive a seed
+``rng-global-state``      no module-level ``np.random.*``/``random.*``
+``rng-missing-param``     world builders accept an ``rng``/``seed``
+``wall-clock``            no absolute-time reads outside pragma'd sites
+``pickle-safety``         no lambdas/closures in EvalTask/pool payloads
+``metric-uncataloged``    emitted metric names appear in the docs
+``metric-stale``          catalogued metric names are still emitted
+``span-balance``          spans open only via ``with span(...)``
+``unordered-iter``        no salted-order iteration near fingerprints
+========================  ============================================
+
+Run as ``python -m repro.lint [paths...]`` or ``repro-rating lint``;
+suppress a single line with ``# lint: ignore[rule-id]``, and carry
+accepted pre-existing findings in ``.repro-lint-baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.core import (
+    Finding,
+    LintConfig,
+    LintResult,
+    Linter,
+    ModuleSource,
+    Rule,
+    baseline_payload,
+    run_lint,
+)
+from repro.lint.rules_metrics import MetricCatalogRule, MetricStaleRule, SpanBalanceRule
+from repro.lint.rules_order import UnorderedIterRule
+from repro.lint.rules_pickle import PickleSafetyRule
+from repro.lint.rules_rng import RngGlobalStateRule, RngMissingParamRule, RngUnseededRule
+from repro.lint.rules_time import WallClockRule
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Linter",
+    "ModuleSource",
+    "Rule",
+    "default_rules",
+    "main",
+    "run_lint",
+]
+
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+DEFAULT_CATALOGS = ("docs/API.md", "docs/OBSERVABILITY.md")
+
+
+def default_rules(config: LintConfig) -> List[Rule]:
+    """The full rule battery, wired to ``config``'s catalog paths."""
+    return [
+        RngUnseededRule(),
+        RngGlobalStateRule(),
+        RngMissingParamRule(),
+        WallClockRule(),
+        PickleSafetyRule(),
+        MetricCatalogRule(config.catalog_paths),
+        MetricStaleRule(config.catalog_paths),
+        SpanBalanceRule(),
+        UnorderedIterRule(),
+    ]
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="AST-based invariant checker for the reproduction repo.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: src, else .)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write findings as structured JSON to PATH ('-' = stdout)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help=f"baseline file of accepted findings (default: {DEFAULT_BASELINE} "
+             "when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select", metavar="IDS", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="IDS", default="",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--catalog", metavar="PATH", action="append", default=None,
+        help="metric-catalog markdown file (repeatable; default: "
+             "docs/API.md docs/OBSERVABILITY.md when present)",
+    )
+    parser.add_argument(
+        "--no-stale", action="store_true",
+        help="skip the metric-stale direction (use when linting a subset "
+             "of the tree, where 'nothing emits X' is vacuous)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="print findings only, no summary line",
+    )
+    return parser
+
+
+def _default_paths() -> List[str]:
+    return ["src"] if Path("src").is_dir() else ["."]
+
+
+def _default_catalogs() -> List[str]:
+    return [path for path in DEFAULT_CATALOGS if Path(path).exists()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro.lint`` and ``repro-rating lint``."""
+    args = build_arg_parser().parse_args(argv)
+
+    ignore = {part.strip() for part in args.ignore.split(",") if part.strip()}
+    if args.no_stale:
+        ignore.add(MetricStaleRule.id)
+    select = None
+    if args.select:
+        select = {part.strip() for part in args.select.split(",") if part.strip()}
+
+    baseline = args.baseline
+    if baseline is None and not args.no_baseline and Path(DEFAULT_BASELINE).exists():
+        baseline = DEFAULT_BASELINE
+    if args.no_baseline:
+        baseline = None
+
+    config = LintConfig(
+        select=select,
+        ignore=ignore,
+        baseline_path=baseline,
+        catalog_paths=(
+            args.catalog if args.catalog is not None else _default_catalogs()
+        ),
+        stale_check=not args.no_stale,
+    )
+    rules = default_rules(config)
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id:20s} {rule.summary}")
+        return 0
+
+    paths = args.paths or _default_paths()
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    result = Linter(rules, config).run(paths)
+
+    if args.update_baseline:
+        target = args.baseline or DEFAULT_BASELINE
+        payload = baseline_payload(result.findings + result.baseline_findings)
+        Path(target).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(
+            f"baseline {target} updated with "
+            f"{len(payload['entries'])} entr(y/ies)"
+        )
+        return 0
+
+    json_owns_stdout = args.json == "-"
+    if args.json:
+        rendered = json.dumps(result.to_json(), indent=2, sort_keys=True)
+        if json_owns_stdout:
+            print(rendered)
+        else:
+            Path(args.json).write_text(rendered + "\n", encoding="utf-8")
+
+    # With ``--json -`` the JSON report owns stdout; the human-readable
+    # report moves to stderr so piped output stays parseable.
+    out = sys.stderr if json_owns_stdout else sys.stdout
+    if args.quiet:
+        for finding in result.findings + result.parse_errors:
+            print(finding.to_text(), file=out)
+    else:
+        print(result.to_text(), file=out)
+    return 0 if result.ok else 1

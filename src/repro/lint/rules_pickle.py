@@ -1,0 +1,149 @@
+"""Pickle-safety rule for execution-engine payloads.
+
+Every :class:`~repro.exec.tasks.EvalTask` must cross a process boundary
+(``ProcessPoolExecutor`` pickles task lists into workers) and land in
+the content-addressed MP cache (pickled to disk).  Lambdas, closures
+over local state, and locally-defined classes pickle either not at all
+or by *reference to a qualname that does not exist in the worker* --
+the failure shows up only when ``--workers`` goes above 0, long after
+the code merged.  This rule flags those payloads at the call site:
+arguments to ``*Task(...)`` constructors and to ``.map(...)`` on a
+parallel evaluator / pool / executor.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Optional, Set
+
+from repro.lint.core import Finding, ModuleSource, Rule
+
+__all__ = ["PickleSafetyRule"]
+
+_TASK_CTOR = re.compile(r"^[A-Z]\w*Task$")
+
+#: Receiver names whose ``.map(...)`` dispatches across processes.
+_POOL_RECEIVERS = {"evaluator", "pool", "executor"}
+
+#: Constructors whose instances dispatch across processes; a name
+#: assigned from one of these makes that name a pool receiver too.
+_POOL_TYPES = {"ParallelEvaluator", "ProcessPoolExecutor", "Pool"}
+
+
+def _terminal_name(func: ast.AST) -> str:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _pool_bound_names(tree: ast.AST) -> Set[str]:
+    """Names assigned (or with-bound) from a pool-type constructor."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        value = None
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, list(node.targets)
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            value, targets = node.context_expr, [node.optional_vars]
+        if not isinstance(value, ast.Call):
+            continue
+        if _terminal_name(value.func) not in _POOL_TYPES:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _local_defs(tree: ast.AST) -> Set[str]:
+    """Names of functions/classes defined inside another function."""
+    local: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for child in ast.walk(node):
+            if child is node:
+                continue
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                local.add(child.name)
+    return local
+
+
+class PickleSafetyRule(Rule):
+    id = "pickle-safety"
+    summary = (
+        "no lambdas, closures, or locally-defined classes in EvalTask "
+        "fields or ParallelEvaluator.map payloads -- they cannot pickle "
+        "into pool workers or the MP cache"
+    )
+
+    def check_module(self, module: ModuleSource) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        pool_names = _POOL_RECEIVERS | _pool_bound_names(module.tree)
+        local_defs = _local_defs(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self._payload_target(node, pool_names)
+            if target is None:
+                continue
+            for value in list(node.args) + [kw.value for kw in node.keywords]:
+                bad = self._unpicklable(value, local_defs)
+                if bad is None:
+                    continue
+                findings.append(
+                    Finding(
+                        path=module.path,
+                        line=value.lineno,
+                        column=value.col_offset,
+                        rule=self.id,
+                        message=(
+                            f"{bad} passed into {target} will not pickle "
+                            "across the process boundary; use a module-level "
+                            "function or a frozen dataclass field instead"
+                        ),
+                        symbol=f"{target}:{bad}",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _payload_target(call: ast.Call, pool_names: Set[str]) -> Optional[str]:
+        """The pickled-payload sink this call feeds, if any."""
+        name = _terminal_name(call.func)
+        if _TASK_CTOR.match(name) or name == "EvalTask":
+            return f"{name}(...)"
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "map"
+        ):
+            receiver = call.func.value
+            if isinstance(receiver, ast.Name) and receiver.id in pool_names:
+                return f"{receiver.id}.map(...)"
+            if (
+                isinstance(receiver, ast.Call)
+                and _terminal_name(receiver.func) in _POOL_TYPES
+            ):
+                return f"{_terminal_name(receiver.func)}().map(...)"
+        return None
+
+    @staticmethod
+    def _unpicklable(value: ast.AST, local_defs: Set[str]) -> Optional[str]:
+        if isinstance(value, ast.Lambda):
+            return "a lambda"
+        if isinstance(value, ast.Name) and value.id in local_defs:
+            return f"locally-defined '{value.id}'"
+        # Containers of lambdas ([f, lambda: ...]) are payloads too.
+        if isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+            for element in value.elts:
+                if isinstance(element, ast.Lambda):
+                    return "a lambda"
+                if isinstance(element, ast.Name) and element.id in local_defs:
+                    return f"locally-defined '{element.id}'"
+        return None

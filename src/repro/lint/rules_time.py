@@ -1,0 +1,59 @@
+"""Wall-clock hygiene rule.
+
+Fingerprinted code paths (task hashing, MP-cache keys, capsule-merged
+telemetry) must be pure functions of their inputs: reading the wall
+clock bakes "when did this run" into values that are supposed to replay
+bit-identically.  ``time.perf_counter`` / ``perf_counter_ns`` stay legal
+(durations are telemetry, never inputs); absolute-time reads are banned
+everywhere except explicitly pragma'd sites (the run ledger's record
+timestamp is the one sanctioned source in this repo).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.core import Finding, ModuleSource, Rule
+
+__all__ = ["WallClockRule"]
+
+_BANNED = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+class WallClockRule(Rule):
+    id = "wall-clock"
+    summary = (
+        "no time.time()/datetime.now() outside pragma'd sites: absolute "
+        "time in a fingerprinted path breaks bit-identical replay"
+    )
+
+    def check_module(self, module: ModuleSource) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = module.imports.resolve_call(node)
+            if resolved in _BANNED:
+                findings.append(
+                    Finding(
+                        path=module.path,
+                        line=node.lineno,
+                        column=node.col_offset,
+                        rule=self.id,
+                        message=(
+                            f"{resolved}() reads the wall clock; use "
+                            "perf_counter for durations, or pragma this line "
+                            "if it is a sanctioned timestamp source"
+                        ),
+                        symbol=resolved,
+                    )
+                )
+        return findings

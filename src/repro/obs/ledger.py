@@ -208,7 +208,10 @@ def build_record(
 ) -> RunRecord:
     """Assemble a :class:`RunRecord` for one finished invocation."""
     registry = registry if registry is not None else get_registry()
-    timestamp = time.time() if timestamp is None else float(timestamp)
+    # The run ledger is the repo's one sanctioned wall-clock source: a
+    # record's timestamp identifies *when a run happened* and is never an
+    # input to any fingerprinted or replayed computation.
+    timestamp = time.time() if timestamp is None else float(timestamp)  # lint: ignore[wall-clock]
     snapshot = registry.snapshot()
     timings: Dict[str, float] = {"wall_seconds": float(wall_seconds)}
     task_hist = registry.histograms.get("exec.task_seconds")

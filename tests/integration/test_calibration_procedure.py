@@ -1,6 +1,5 @@
 """Integration tests for the automatic threshold calibration."""
 
-import numpy as np
 import pytest
 
 from repro.attacks import AttackGenerator, AttackSpec, ProductTarget, UniformWindow

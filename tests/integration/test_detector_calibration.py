@@ -6,7 +6,6 @@ canonical Section IV attacks, and the *intended* blindness to high-variance
 attacks (which is the paper's R3 finding, not a bug).
 """
 
-import numpy as np
 import pytest
 
 from repro.attacks import AttackGenerator, AttackSpec, ProductTarget

@@ -5,7 +5,6 @@ of the paper on a reduced population (full-size reproduction lives in
 ``benchmarks/``; EXPERIMENTS.md records the measured numbers).
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis.bias_variance import Region

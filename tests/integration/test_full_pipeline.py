@@ -1,6 +1,5 @@
 """End-to-end integration tests: challenge + attacks + all three schemes."""
 
-import numpy as np
 import pytest
 
 from repro.aggregation import BetaFilterScheme, PScheme, SimpleAveragingScheme

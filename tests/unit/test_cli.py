@@ -367,3 +367,30 @@ class TestReportOutGlobal:
         )
         assert code == 0
         assert "Trace summary" in report_path.read_text()
+
+
+class TestLintCommand:
+    def test_lint_clean_fixture(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        code = main(["lint", str(good)])
+        assert code == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_lint_flags_violation(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nstamp = time.time()\n")
+        findings = tmp_path / "findings.json"
+        code = main(["lint", str(bad), "--json", str(findings)])
+        assert code == 1
+        payload = json.loads(findings.read_text())
+        assert payload["findings"][0]["rule"] == "wall-clock"
+        capsys.readouterr()
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "rng-unseeded" in out
+        assert "unordered-iter" in out

@@ -6,7 +6,6 @@ None of these may crash a detector or produce out-of-range statistics.
 """
 
 import numpy as np
-import pytest
 
 from repro.detectors import (
     ArrivalRateDetector,

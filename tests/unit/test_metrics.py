@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.aggregation import PScheme, SimpleAveragingScheme
+from repro.aggregation import SimpleAveragingScheme
 from repro.detectors import JointDetector
 from repro.errors import EmptyDataError, ValidationError
 from repro.marketplace.metrics import (

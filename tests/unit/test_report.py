@@ -1,7 +1,6 @@
 """Unit tests for the self-contained run-report generator (repro.obs.report)."""
 
 import numpy as np
-import pytest
 
 from repro.obs import MetricsRegistry
 from repro.obs.quality import ConfusionCounts
