@@ -3,7 +3,7 @@
 PYTHON ?= python
 LEDGER ?= .repro/ledger.jsonl
 
-.PHONY: install test lint bench bench-quick bench-baseline bench-parallel ledger-check examples clean
+.PHONY: install test lint bench bench-quick bench-baseline bench-detectors bench-parallel ledger-check examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -28,6 +28,9 @@ bench-quick:     ## reduced population for a fast pass
 
 bench-baseline:  ## headline MP bench with metrics on -> BENCH_obs_baseline.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_obs_baseline.py
+
+bench-detectors: ## detector hot path under the profiler -> BENCH_detectors.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_detectors.py
 
 bench-parallel:  ## serial vs parallel vs warm-cache headline bench -> BENCH_parallel.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_parallel.py

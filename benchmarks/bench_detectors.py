@@ -1,0 +1,117 @@
+"""Detector hot-path baseline: the joint detector under the profiler.
+
+Runs :class:`~repro.detectors.JointDetector` over every product stream
+of every attacked dataset in a seeded challenge population, with a
+collecting registry and the span-attributed sampling profiler on, and
+writes ``BENCH_detectors.json`` at the repo root:
+
+- per sub-detector (MC, H-ARC, L-ARC, HC, ME): call count plus p50/p90
+  wall-clock seconds from the ``detector.<kind>.seconds`` histograms;
+- the top self-time frames the profiler attributed to detector spans;
+- the overall sample attribution fraction and sampling rate.
+
+The committed file pins the detector hot-path baseline: future PRs that
+touch the detectors re-run ``make bench-detectors`` and diff the per-kind
+percentiles and the frame ranking.  A speedscope export of the same
+profile lands next to the other benchmark artifacts in
+``benchmarks/results/``.
+
+Population size defaults to 30 (a quick pass); set ``REPRO_POPULATION``
+to 251 for the full paper-scale run, matching the pytest benches.
+
+Usage::
+
+    make bench-detectors
+    # or
+    PYTHONPATH=src python benchmarks/bench_detectors.py [out.json]
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.attacks.population import PopulationConfig, generate_population
+from repro.detectors import JointDetector
+from repro.marketplace.challenge import RatingChallenge
+from repro.obs import MetricsRegistry, SpanProfiler, use_registry
+from repro.obs.profile import attributed_fraction, top_frames, write_speedscope
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_detectors.json"
+SPEEDSCOPE_OUT = (
+    Path(__file__).resolve().parent / "results" / "detectors.speedscope.json"
+)
+DETECTOR_KINDS = ("MC", "H-ARC", "L-ARC", "HC", "ME")
+
+
+def main() -> int:
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_OUT
+    population_size = int(os.environ.get("REPRO_POPULATION", "30"))
+
+    challenge = RatingChallenge(seed=2008)
+    population = generate_population(
+        challenge, PopulationConfig(size=population_size), seed=2009
+    )
+
+    registry = MetricsRegistry()
+    detector = JointDetector(registry=registry)
+    streams = 0
+    start = time.perf_counter()
+    with use_registry(registry), SpanProfiler(registry):
+        for submission in population:
+            dataset = challenge.attacked_dataset(submission)
+            for product_id in dataset:
+                detector.analyze(dataset[product_id])
+                streams += 1
+    wall_seconds = time.perf_counter() - start
+
+    detectors = {}
+    for kind in DETECTOR_KINDS:
+        hist = registry.histograms.get(f"detector.{kind}.seconds")
+        calls = registry.counter_value(f"detector.{kind}.calls")
+        if hist is None or not calls:
+            continue
+        detectors[kind] = {
+            "calls": calls,
+            "p50_seconds": hist.percentile(50),
+            "p90_seconds": hist.percentile(90),
+        }
+
+    samples = registry.profile
+    payload = {
+        "benchmark": "detector_hot_path",
+        "population": population_size,
+        "streams_analyzed": streams,
+        "wall_seconds": wall_seconds,
+        "hz": registry.gauges["profile.hz"].value,
+        "total_samples": sum(samples.values()),
+        "attributed_fraction": attributed_fraction(samples),
+        "detectors": detectors,
+        "top_self_frames": [
+            {"frame": frame, "samples": count}
+            for frame, count in top_frames(samples, 10)
+        ],
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    SPEEDSCOPE_OUT.parent.mkdir(parents=True, exist_ok=True)
+    write_speedscope(
+        samples, SPEEDSCOPE_OUT, hz=payload["hz"], name="detector hot path"
+    )
+
+    print(f"population={population_size} streams={streams} "
+          f"wall={wall_seconds:.2f}s")
+    print(f"profile: {payload['total_samples']:.0f} samples at "
+          f"{payload['hz']:.0f} Hz, "
+          f"{payload['attributed_fraction']:.1%} span-attributed")
+    for kind, stats in detectors.items():
+        print(f"  {kind:6s} calls={stats['calls']:.0f}  "
+              f"p50={stats['p50_seconds'] * 1e3:.3f}ms  "
+              f"p90={stats['p90_seconds'] * 1e3:.3f}ms")
+    print(f"wrote {out_path}")
+    print(f"wrote {SPEEDSCOPE_OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,11 @@
 """Observability baseline: the headline MP benchmark with metrics on.
 
 Runs the E7 headline comparison (P vs SA vs BF over one challenge world
-and synthetic population) twice -- once with the no-op metrics sink to
-measure the uninstrumented wall clock, once with a collecting registry --
-and writes timings, counters, and the instrumentation overhead ratio to
+and synthetic population) three times -- once with the no-op metrics
+sink to measure the uninstrumented wall clock, once with a collecting
+registry, once with the registry plus the sampling profiler -- and
+writes timings, counters, the instrumentation overhead ratio, and the
+profiler overhead ratio (instrumented+profiled over instrumented) to
 ``BENCH_obs_baseline.json`` at the repo root.  This file seeds the perf
 trajectory: future PRs compare their stage timings and cache hit rates
 against it.
@@ -25,17 +27,27 @@ import time
 from pathlib import Path
 
 from repro.experiments import ExperimentContext, run_headline_comparison
-from repro.obs import MetricsRegistry, registry_to_dict, use_registry
+from repro.obs import (
+    MetricsRegistry,
+    SpanProfiler,
+    registry_to_dict,
+    use_registry,
+)
+from repro.obs.profile import attributed_fraction
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_obs_baseline.json"
 
 
-def _run(population: int, registry=None) -> float:
+def _run(population: int, registry=None, profile: bool = False) -> float:
     """One headline run from a cold context; returns wall seconds."""
     context = ExperimentContext(seed=2008, population_size=population)
     start = time.perf_counter()
     with use_registry(registry):
-        run_headline_comparison(context)
+        if profile:
+            with SpanProfiler(registry):
+                run_headline_comparison(context)
+        else:
+            run_headline_comparison(context)
     return time.perf_counter() - start
 
 
@@ -48,6 +60,11 @@ def main() -> int:
     # Pass 2: collecting registry -- full telemetry.
     registry = MetricsRegistry()
     instrumented_seconds = _run(population, registry=registry)
+    # Pass 3: collecting registry plus the sampling profiler at the
+    # default rate -- what --profile-out costs on top of telemetry.
+    profiled_registry = MetricsRegistry()
+    profiled_seconds = _run(population, registry=profiled_registry,
+                            profile=True)
 
     payload = {
         "benchmark": "headline_mp_comparison",
@@ -57,6 +74,14 @@ def main() -> int:
         "overhead_ratio": (
             instrumented_seconds / baseline_seconds if baseline_seconds else None
         ),
+        "profiled_seconds": profiled_seconds,
+        "profiler_overhead_ratio": (
+            profiled_seconds / instrumented_seconds
+            if instrumented_seconds else None
+        ),
+        "profile_attributed_fraction": attributed_fraction(
+            profiled_registry.profile
+        ),
         "metrics": registry_to_dict(registry),
     }
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
@@ -65,6 +90,9 @@ def main() -> int:
     print(f"baseline      : {baseline_seconds:.2f}s (no metrics sink)")
     print(f"instrumented  : {instrumented_seconds:.2f}s "
           f"(x{payload['overhead_ratio']:.3f})")
+    print(f"profiled      : {profiled_seconds:.2f}s "
+          f"(x{payload['profiler_overhead_ratio']:.3f} over instrumented, "
+          f"{payload['profile_attributed_fraction']:.1%} attributed)")
     hits = counters.get("pscheme.report_cache.hits", 0)
     misses = counters.get("pscheme.report_cache.misses", 0)
     total = hits + misses

@@ -22,18 +22,23 @@ observability flags ``--log-level LEVEL`` (structured logs to stderr),
 ``--metrics-out PATH`` (collect pipeline metrics for the invocation and
 write them as JSON), ``--trace-out PATH`` (export the recorded span tree
 as Chrome/Perfetto ``trace_event`` JSON, with one lane per worker
-process), and ``--ledger PATH`` (append one run record -- argv, workload
+process), ``--ledger PATH`` (append one run record -- argv, workload
 fingerprint, metrics, timings, result digests, environment -- to a
-persistent JSONL ledger).  The scaling globals ``--workers N`` and
+persistent JSONL ledger), and ``--profile-out PATH`` (sample the
+invocation with the span-attributed wall-clock profiler at
+``--profile-hz`` samples/second; ``--profile-mem`` adds
+tracemalloc-backed per-span allocation telemetry).  The scaling globals ``--workers N`` and
 ``--cache-dir DIR`` route ``population``/``search``/``sensitivity``
 through the :mod:`repro.exec` engine: evaluations fan out over ``N``
 processes (bit-identical to serial, and since the telemetry-capsule
 merge, observationally identical too) and/or replay from a persistent MP
 cache.
 
-Two inspection subcommands close the loop: ``trace FILE`` validates and
-summarizes an exported trace, and ``runs list|show|diff|check`` reads a
-ledger -- ``runs check`` compares the latest run against a rolling
+Three inspection subcommands close the loop: ``trace FILE`` validates
+and summarizes an exported trace, ``profile FILE`` summarizes a
+``--profile-out`` artifact (top self-time spans and frames) and
+re-exports it as speedscope JSON, collapsed stacks, or a Perfetto
+profiler lane, and ``runs list|show|diff|check`` reads a ledger -- ``runs check`` compares the latest run against a rolling
 baseline of comparable runs and exits 1 when result digests, stable
 metrics, or wall-clock regressed beyond the configured thresholds, and
 3 when no comparable baseline exists (nothing was checked -- distinct
@@ -89,6 +94,7 @@ from repro.marketplace.io import (
 from repro.obs import (
     MetricsRegistry,
     ledger as run_ledger,
+    profile as obs_profile,
     report_from_registry,
     set_registry,
     setup_logging,
@@ -159,6 +165,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--report-out", default=None, metavar="PATH",
         help="write a self-contained HTML (or Markdown, by extension) run "
              "report of this invocation's telemetry to PATH",
+    )
+    common.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="sample the invocation with the span-attributed profiler and "
+             "write the profile artifact to PATH; inspect or re-export with "
+             "'repro-rating profile PATH'",
+    )
+    common.add_argument(
+        "--profile-hz", type=int, default=obs_profile.DEFAULT_HZ, metavar="N",
+        help="profiler sampling rate in samples/second "
+             f"(default {obs_profile.DEFAULT_HZ})",
+    )
+    common.add_argument(
+        "--profile-mem", action="store_true",
+        help="with --profile-out: also record tracemalloc-backed per-span "
+             "allocation deltas and peak watermarks (mem.* metrics; "
+             "noticeably more overhead than sampling alone)",
     )
     common.add_argument(
         "--workers", type=int, default=0, metavar="N",
@@ -284,6 +307,32 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("trace_file", help="a file written by --trace-out")
     trace.add_argument(
         "--top", type=int, default=10, help="longest spans to list"
+    )
+
+    profile = add_parser(
+        "profile", help="inspect or re-export a --profile-out artifact"
+    )
+    profile.add_argument(
+        "profile_file", help="a file written by --profile-out"
+    )
+    profile.add_argument(
+        "--top", type=int, default=10,
+        help="rows in the self-time tables (default 10)",
+    )
+    profile.add_argument(
+        "--speedscope", metavar="PATH", default=None,
+        help="re-export the samples as speedscope JSON "
+             "(load at https://www.speedscope.app)",
+    )
+    profile.add_argument(
+        "--collapsed", metavar="PATH", default=None,
+        help="re-export the samples as collapsed-stack text "
+             "(flamegraph.pl input)",
+    )
+    profile.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="re-export the samples as a Chrome/Perfetto trace_event "
+             "JSON profiler lane",
     )
 
     lint = add_parser(
@@ -815,6 +864,73 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    payload = obs_profile.read_profile(args.profile_file)
+    samples = {
+        key: float(count) for key, count in payload["samples"].items()
+    }
+    hz = float(payload["hz"])
+    total = sum(samples.values())
+    print(f"profile {args.profile_file}: structurally valid")
+    print(
+        f"{total:.0f} samples at {hz:g} Hz ({total / hz:.2f}s sampled, "
+        f"{obs_profile.attributed_fraction(samples):.1%} span-attributed)"
+    )
+    span_rows = sorted(
+        obs_profile.self_seconds_by_span(samples, hz=hz).items(),
+        key=lambda item: (-item[1], item[0]),
+    )[: args.top]
+    if span_rows:
+        print()
+        print(format_table(
+            ["span", "self_seconds"], span_rows, float_format=".3f",
+            title=f"Top {len(span_rows)} spans by sampled self time",
+        ))
+    frame_rows = [
+        (label, count / hz)
+        for label, count in obs_profile.top_frames(samples, args.top)
+    ]
+    if frame_rows:
+        print()
+        print(format_table(
+            ["frame", "self_seconds"], frame_rows, float_format=".3f",
+            title=f"Top {len(frame_rows)} frames by self time",
+        ))
+    if args.speedscope:
+        obs_profile.write_speedscope(
+            samples, args.speedscope, hz=hz,
+            name=os.path.basename(args.profile_file),
+        )
+        print(f"speedscope JSON written to {args.speedscope}")
+    if args.collapsed:
+        with open(args.collapsed, "w", encoding="utf-8") as handle:
+            handle.write(obs_profile.collapsed_stacks(samples))
+        print(f"collapsed stacks written to {args.collapsed}")
+    if args.trace:
+        events = obs_profile.profile_trace_events(samples, hz=hz)
+        metadata = [
+            {
+                "name": "process_name", "ph": "M", "pid": os.getpid(),
+                "tid": 0, "args": {"name": "repro profile"},
+            },
+            {
+                "name": "thread_name", "ph": "M", "pid": os.getpid(),
+                "tid": obs_profile.PROFILE_TID,
+                "args": {"name": "profiler samples"},
+            },
+        ]
+        document = {
+            "traceEvents": metadata + events,
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.obs.profile"},
+        }
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"profile trace written to {args.trace}")
+    return 0
+
+
 def _runs_ledger_path(args) -> str:
     """The ledger a ``runs`` invocation should read."""
     if args.ledger:
@@ -880,11 +996,12 @@ _COMMANDS = {
     "report": _cmd_report,
     "lint": _cmd_lint,
     "trace": _cmd_trace,
+    "profile": _cmd_profile,
     "runs": _cmd_runs,
 }
 
 #: Inspection commands never record telemetry about themselves.
-_INSPECTION_COMMANDS = frozenset({"lint", "trace", "runs"})
+_INSPECTION_COMMANDS = frozenset({"lint", "trace", "profile", "runs"})
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -893,15 +1010,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     setup_logging(args.log_level)
     recording = args.command not in _INSPECTION_COMMANDS
-    registry = previous = capture = None
+    registry = previous = capture = profiler = None
     if recording and (
         args.metrics_out or args.trace_out or args.ledger or args.report_out
+        or args.profile_out
     ):
         # Collect this invocation's pipeline telemetry and persist it.
         registry = MetricsRegistry()
         previous = set_registry(registry)
         if args.ledger:
             capture = run_ledger.begin_run_capture()
+        if args.profile_out:
+            # Sample this process, and arm per-task profilers so pooled
+            # work profiles itself worker-side (samples ride back on the
+            # telemetry capsules).
+            obs_profile.enable_profiling(
+                hz=args.profile_hz, memory=args.profile_mem
+            )
+            profiler = obs_profile.SpanProfiler(
+                registry, hz=args.profile_hz, memory=args.profile_mem
+            ).start()
     start = perf_counter()
     try:
         status = _COMMANDS[args.command](args)
@@ -913,6 +1041,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         status = 2
     finally:
         wall_seconds = perf_counter() - start
+        if profiler is not None:
+            profiler.stop()
+            obs_profile.disable_profiling()
         if registry is not None:
             set_registry(previous)
         if capture is not None:
@@ -935,6 +1066,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         except OSError as exc:
             print(f"error: cannot write trace: {exc}", file=sys.stderr)
+            status = status or 2
+    if args.profile_out:
+        try:
+            total = obs_profile.write_profile(registry, args.profile_out)
+            print(
+                f"profile written to {args.profile_out} "
+                f"({total:.0f} samples)",
+                file=sys.stderr,
+            )
+        except OSError as exc:
+            print(f"error: cannot write profile: {exc}", file=sys.stderr)
             status = status or 2
     if args.ledger:
         record = run_ledger.build_record(

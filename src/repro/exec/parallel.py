@@ -36,6 +36,7 @@ from repro.exec.cache import MPCache
 from repro.exec.tasks import EvalTask, hermetic_schemes
 from repro.obs import get_logger
 from repro.obs.capsule import TelemetryCapsule
+from repro.obs.profile import maybe_task_profiler
 from repro.obs.registry import MetricsRegistry, get_registry, use_registry
 from repro.obs.spans import fresh_span_stack, span
 
@@ -75,12 +76,22 @@ def _run_task_timed(
     value, error = None, None
     start = perf_counter()
     with fresh_span_stack(), use_registry(local), hermetic_schemes(hermetic):
-        with span("exec.task", local) as record:
-            record.annotate(task=type(task).__name__)
-            try:
-                value = task.run()
-            except Exception as exc:  # noqa: BLE001 - reported to the parent
-                error = f"{type(exc).__name__}: {exc}"
+        # When profiling is globally enabled, each captured task samples
+        # itself into its local registry -- the samples ride back in the
+        # capsule and merge in task order, exactly like counters.  The
+        # task profiler nests above any CLI-level profiler, so inline
+        # (workers=0) dispatch never double-counts a sample.
+        profiler = maybe_task_profiler(local)
+        try:
+            with span("exec.task", local) as record:
+                record.annotate(task=type(task).__name__)
+                try:
+                    value = task.run()
+                except Exception as exc:  # noqa: BLE001 - reported to the parent
+                    error = f"{type(exc).__name__}: {exc}"
+        finally:
+            if profiler is not None:
+                profiler.stop()
     seconds = perf_counter() - start
     return value, seconds, error, TelemetryCapsule.capture(local)
 

@@ -20,7 +20,11 @@ this package:
   execution engine, so pooled runs export the same telemetry as serial).
 - :func:`write_trace` / :func:`read_trace` / :func:`summarize_trace` --
   Chrome/Perfetto ``trace_event`` export of the recorded span tree, with
-  one lane per worker process.
+  one lane per worker process (plus a profiler-sample lane when one ran).
+- :class:`SpanProfiler` -- low-overhead sampling wall-clock profiler
+  whose samples attribute to the open span stack; exporters for
+  collapsed-stack text, speedscope JSON, and the native
+  ``--profile-out`` artifact (:mod:`repro.obs.profile`).
 - :class:`RunLedger` / :func:`check_ledger` -- the persistent run ledger
   (JSONL, one record per invocation) and its regression checker.
 - :func:`score_detection` / :class:`Scorecard` -- ground-truth detection
@@ -66,7 +70,29 @@ from repro.obs.registry import (
     set_registry,
     use_registry,
 )
-from repro.obs.spans import SpanRecord, current_span_path, fresh_span_stack, span
+from repro.obs.profile import (
+    DEFAULT_HZ,
+    SpanProfiler,
+    collapsed_stacks,
+    disable_profiling,
+    enable_profiling,
+    maybe_task_profiler,
+    profiling_enabled,
+    read_profile,
+    read_speedscope,
+    span_self_seconds,
+    span_self_times,
+    speedscope_document,
+    write_profile,
+    write_speedscope,
+)
+from repro.obs.spans import (
+    SpanRecord,
+    current_span_path,
+    fresh_span_stack,
+    span,
+    span_stack_snapshot,
+)
 
 # Imported last: repro.obs.quality pulls in repro.detectors, whose
 # modules import the names above from this (then partially initialized)
@@ -119,6 +145,21 @@ __all__ = [
     "SpanRecord",
     "span",
     "current_span_path",
+    "span_stack_snapshot",
+    "DEFAULT_HZ",
+    "SpanProfiler",
+    "collapsed_stacks",
+    "disable_profiling",
+    "enable_profiling",
+    "maybe_task_profiler",
+    "profiling_enabled",
+    "read_profile",
+    "read_speedscope",
+    "span_self_seconds",
+    "span_self_times",
+    "speedscope_document",
+    "write_profile",
+    "write_speedscope",
     "get_logger",
     "setup_logging",
     "format_metrics",

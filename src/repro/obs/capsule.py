@@ -26,6 +26,7 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Tuple
 
+from repro.obs.profile import reparent_profile_key
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import SpanRecord
 
@@ -43,6 +44,7 @@ class TelemetryCapsule:
     gauges: Dict[str, float] = field(default_factory=dict)
     histograms: Dict[str, HistogramState] = field(default_factory=dict)
     spans: List[SpanRecord] = field(default_factory=list)
+    profile: Dict[str, float] = field(default_factory=dict)
     pid: int = 0
 
     @classmethod
@@ -53,13 +55,20 @@ class TelemetryCapsule:
             gauges={k: v.value for k, v in registry.gauges.items()},
             histograms={k: v.state() for k, v in registry.histograms.items()},
             spans=list(registry.spans),
+            profile=dict(registry.profile),
             pid=os.getpid(),
         )
 
     @property
     def empty(self) -> bool:
         """Whether the capsule carries no telemetry at all."""
-        return not (self.counters or self.gauges or self.histograms or self.spans)
+        return not (
+            self.counters
+            or self.gauges
+            or self.histograms
+            or self.spans
+            or self.profile
+        )
 
     def merge_into(
         self,
@@ -84,6 +93,17 @@ class TelemetryCapsule:
             registry.gauge(name).set(value)
         for name, state in self.histograms.items():
             registry.histogram(name).merge_state(*state)
+        if self.profile:
+            # Sample keys re-parent exactly like span paths do, so a
+            # worker's "span:exec.task...." samples fold under the
+            # dispatching "exec.map" span in the merged profile; counts
+            # add per key, making the merge order-insensitive.
+            registry.add_profile_samples(
+                {
+                    reparent_profile_key(key, parent_path): count
+                    for key, count in self.profile.items()
+                }
+            )
         for record in self.spans:
             path = f"{parent_path}.{record.path}" if parent_path else record.path
             registry.adopt_span(

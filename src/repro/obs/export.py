@@ -23,6 +23,12 @@ def registry_to_dict(registry: MetricsRegistry) -> Dict[str, object]:
         }
         for record in registry.spans
     ]
+    # Only present when a profiler ran: keeps un-profiled dumps (and the
+    # tests pinning their exact keys) unchanged.
+    if getattr(registry, "profile", None):
+        payload["profile"] = {
+            key: registry.profile[key] for key in sorted(registry.profile)
+        }
     return payload
 
 

@@ -57,10 +57,12 @@ SCHEMA_VERSION = 1
 
 #: Metric namespaces excluded from regression comparison by default:
 #: pool/cache bookkeeping depends on topology and warm state, memoization
-#: hit/miss splits depend on how tasks were packed onto processes, and
-#: the ledger/trace counters describe the recording itself.  Everything
-#: else (detector/trust/search/online counts, result digests, timings)
-#: is compared.
+#: hit/miss splits depend on how tasks were packed onto processes, the
+#: ledger/trace counters describe the recording itself, and profiler
+#: sample counts / memory watermarks are wall-clock-driven (the
+#: attributed self-time regression gate lives in the ``timings`` check
+#: instead).  Everything else (detector/trust/search/online counts,
+#: result digests, timings) is compared.
 DEFAULT_IGNORE_PREFIXES = (
     "exec.",
     "ledger.",
@@ -68,7 +70,16 @@ DEFAULT_IGNORE_PREFIXES = (
     "pscheme.report_cache.",
     "pscheme.scores_cache.",
     "search.memo.",
+    "profile.",
+    "mem.",
 )
+
+#: Per-phase self-time paths recorded into ``timings`` (largest first).
+MAX_SELF_TIME_PATHS = 8
+
+#: ``self.*`` timings below this baseline median are noise, not phases;
+#: the regression check skips them.
+SELF_TIMING_FLOOR_SECONDS = 0.05
 
 
 # --------------------------------------------------------------------- #
@@ -197,6 +208,17 @@ class RunRecord:
         return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(self.timestamp))
 
 
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolated ``q``-th percentile of pre-sorted values."""
+    if not ordered:
+        return float("nan")
+    rank = (len(ordered) - 1) * (q / 100.0)
+    lo = int(math.floor(rank))
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
 def build_record(
     command: str,
     argv: Sequence[str],
@@ -223,6 +245,20 @@ def build_record(
             task_p90=task_hist.percentile(90),
             task_p99=task_hist.percentile(99),
         )
+    # Per-phase *self*-time percentiles over the recorded span tree, for
+    # the heaviest MAX_SELF_TIME_PATHS paths.  These are what lets
+    # ``runs check`` gate on attributed hot-path regressions ("detector
+    # spans got slower") instead of only total wall clock.
+    if registry.spans:
+        from repro.obs.profile import span_self_times
+
+        self_times = span_self_times(registry.spans)
+        totals = {path: sum(values) for path, values in self_times.items()}
+        heaviest = sorted(totals, key=lambda p: (-totals[p], p))
+        for path in heaviest[:MAX_SELF_TIME_PATHS]:
+            ordered = sorted(self_times[path])
+            timings[f"self.{path}.p50"] = _percentile(ordered, 50.0)
+            timings[f"self.{path}.p90"] = _percentile(ordered, 90.0)
     identity = hashlib.blake2b(
         json.dumps(
             [timestamp, list(argv), command], sort_keys=True
@@ -531,6 +567,33 @@ def check_ledger(
                 detail=f"exceeded {max_timing_ratio:g}x baseline median",
             )
         )
+    # Attributed per-phase self-time: same ratio gate, per span path.
+    # Records predating these fields simply contribute no history; tiny
+    # baselines (below the floor) are scheduling noise, not phases.
+    for name in sorted(latest.timings):
+        if not name.startswith("self."):
+            continue
+        history = [
+            r.timings[name] for r in baseline if name in r.timings
+        ]
+        if not history:
+            continue
+        base = median(history)
+        if base < SELF_TIMING_FLOOR_SECONDS:
+            continue
+        if latest.timings[name] > max_timing_ratio * base:
+            findings.append(
+                RegressionFinding(
+                    kind="timing",
+                    name=name,
+                    latest=latest.timings[name],
+                    baseline=base,
+                    detail=(
+                        f"attributed self-time exceeded "
+                        f"{max_timing_ratio:g}x baseline median"
+                    ),
+                )
+            )
     return CheckReport(latest=latest, baseline_size=len(baseline),
                        findings=findings)
 

@@ -180,6 +180,9 @@ class MetricsRegistry:
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
         self.spans: List[object] = []
+        #: Aggregated profiler samples: collapsed-stack key -> sample
+        #: count (see :mod:`repro.obs.profile` for the key format).
+        self.profile: Dict[str, float] = {}
 
     # -- handle creation ----------------------------------------------- #
 
@@ -238,6 +241,16 @@ class MetricsRegistry:
         if len(self.spans) < self.MAX_SPANS:
             self.spans.append(record)
 
+    def add_profile_samples(self, samples: Dict[str, float]) -> None:
+        """Fold profiler sample counts into the registry's profile.
+
+        Counts add per collapsed-stack key, so merging worker profiles in
+        task order is commutative and deterministic.
+        """
+        with self._lock:
+            for key, count in samples.items():
+                self.profile[key] = self.profile.get(key, 0.0) + float(count)
+
     # -- inspection ----------------------------------------------------- #
 
     def counter_value(self, name: str) -> float:
@@ -262,6 +275,7 @@ class MetricsRegistry:
             self.gauges.clear()
             self.histograms.clear()
             self.spans.clear()
+            self.profile.clear()
 
 
 class NullRegistry(MetricsRegistry):
@@ -301,6 +315,9 @@ class NullRegistry(MetricsRegistry):
         pass
 
     def adopt_span(self, record) -> None:
+        pass
+
+    def add_profile_samples(self, samples: Dict[str, float]) -> None:
         pass
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:

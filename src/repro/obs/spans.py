@@ -11,13 +11,21 @@ from __future__ import annotations
 
 import threading
 import time
+import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry, get_registry
 
-__all__ = ["SpanRecord", "span", "current_span_path", "fresh_span_stack"]
+__all__ = [
+    "SpanRecord",
+    "span",
+    "current_span_path",
+    "fresh_span_stack",
+    "span_stack_snapshot",
+    "set_memory_tracking",
+]
 
 
 @dataclass
@@ -43,9 +51,19 @@ class SpanRecord:
         self.annotations.update(kwargs)
 
 
+#: Live span stacks indexed by thread id.  ``threading.local`` hides the
+#: per-thread stacks from other threads, but the sampling profiler
+#: (:mod:`repro.obs.profile`) must read *every* thread's innermost span
+#: from its own sampler thread, so each stack list is also published
+#: here.  Entries for finished threads linger (bounded by the number of
+#: threads ever started) and simply read as empty stacks.
+_stacks_by_thread: Dict[int, List["SpanRecord"]] = {}
+
+
 class _SpanStack(threading.local):
     def __init__(self) -> None:
         self.items: List[SpanRecord] = []
+        _stacks_by_thread[threading.get_ident()] = self.items
 
 
 _stack = _SpanStack()
@@ -56,6 +74,22 @@ def current_span_path() -> str:
     return _stack.items[-1].path if _stack.items else ""
 
 
+def span_stack_snapshot() -> Dict[int, str]:
+    """Innermost open span path per live thread ("" when none is open).
+
+    Called from the profiler's sampler thread while other threads keep
+    pushing and popping spans; a concurrently emptied stack is read as
+    "no span open" rather than raising.
+    """
+    snapshot: Dict[int, str] = {}
+    for tid, items in list(_stacks_by_thread.items()):
+        try:
+            snapshot[tid] = items[-1].path
+        except IndexError:
+            snapshot[tid] = ""
+    return snapshot
+
+
 @contextmanager
 def fresh_span_stack() -> Iterator[None]:
     """Run a block with an empty span stack, restoring the old one after.
@@ -64,14 +98,31 @@ def fresh_span_stack() -> Iterator[None]:
     spans always start at the root -- whether the task runs inline (the
     parent may have spans open) or in a forked pool worker (which
     inherited the parent's stack as of fork time).  This is what makes
-    serial and parallel capsules carry identical span paths.
+    serial and parallel capsules carry identical span paths.  The
+    published per-thread stack follows the swap so profiler samples taken
+    during the block attribute to the task's spans, not the parent's.
     """
+    tid = threading.get_ident()
     saved = _stack.items
     _stack.items = []
+    _stacks_by_thread[tid] = _stack.items
     try:
         yield
     finally:
         _stack.items = saved
+        _stacks_by_thread[tid] = saved
+
+
+#: When True (set by :func:`set_memory_tracking` while a profiler with
+#: memory telemetry is active) every span also records its tracemalloc
+#: allocation delta and peak watermark.
+_memory_tracking = False
+
+
+def set_memory_tracking(enabled: bool) -> None:
+    """Toggle per-span ``mem.*`` telemetry (requires tracemalloc tracing)."""
+    global _memory_tracking
+    _memory_tracking = bool(enabled)
 
 
 _NULL_SPAN = SpanRecord(name="", path="", depth=0)
@@ -100,6 +151,9 @@ def span(
         return
     parent = _stack.items[-1] if _stack.items else None
     path = f"{parent.path}.{name}" if parent is not None else name
+    mem_base = None
+    if _memory_tracking and tracemalloc.is_tracing():
+        mem_base = tracemalloc.get_traced_memory()
     record = SpanRecord(
         name=name,
         path=path,
@@ -113,4 +167,13 @@ def span(
         record.duration = time.perf_counter() - record.start
         popped = _stack.items.pop()
         assert popped is record, "span stack corrupted"
+        if mem_base is not None and tracemalloc.is_tracing():
+            current, peak = tracemalloc.get_traced_memory()
+            reg.observe(f"mem.{record.path}.alloc_bytes", current - mem_base[0])
+            # Watermark above the span's entry level.  The global peak is
+            # not reset per span (that would corrupt enclosing spans), so
+            # this is an upper bound when the process peaked earlier.
+            reg.observe(
+                f"mem.{record.path}.peak_bytes", max(0.0, peak - mem_base[0])
+            )
         reg.record_span(record)

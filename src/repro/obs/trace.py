@@ -12,15 +12,20 @@ from ``perf_counter``, which on Linux is the system-wide monotonic clock
 
 Final counter values are exported as one trailing counter ("C") event
 per metric namespace so quality counters are visible alongside timing.
+When the registry carries profiler samples (:mod:`repro.obs.profile`),
+they render as an extra per-process lane of synthetic complete events
+-- one slice per collapsed stack, sized by sampled self time -- so the
+flamegraph and the span tree sit side by side in one Perfetto view.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ValidationError
+from repro.obs.profile import PROFILE_TID, profile_trace_events, registry_hz
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import SpanRecord
 
@@ -79,6 +84,13 @@ def trace_events(
                 "args": counters,
             }
         )
+    profile_events: List[Dict[str, object]] = []
+    if registry.profile:
+        profile_events = profile_trace_events(
+            registry.profile,
+            hz=registry_hz(registry),
+            base_pid=base_pid,
+        )
     metadata: List[Dict[str, object]] = []
     for pid in sorted(pids):
         label = "main" if pid == base_pid else f"worker {pid}"
@@ -91,7 +103,17 @@ def trace_events(
                 "args": {"name": f"repro {label}"},
             }
         )
-    return metadata + events
+    if profile_events:
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": base_pid,
+                "tid": PROFILE_TID,
+                "args": {"name": "profiler samples"},
+            }
+        )
+    return metadata + events + profile_events
 
 
 def write_trace(
@@ -149,6 +171,30 @@ def read_trace(path: os.PathLike) -> Dict[str, object]:
     return payload
 
 
+def _event_self_times(complete: Sequence[Dict[str, object]]) -> Dict[int, float]:
+    """Exclusive (self) duration per event id, by wall-clock containment.
+
+    Within each (pid, tid) lane, events sort by start time and a nested
+    event's duration is subtracted from its innermost enclosing parent,
+    so nested spans stop double-counting in the summary.
+    """
+    self_dur = {id(e): float(e["dur"]) for e in complete}
+    lanes: Dict[Tuple[object, object], List[Dict[str, object]]] = {}
+    for event in complete:
+        lanes.setdefault((event["pid"], event.get("tid", 0)), []).append(event)
+    for lane_events in lanes.values():
+        lane_events.sort(key=lambda e: (float(e["ts"]), -float(e["dur"])))
+        stack: List[Tuple[float, float, int]] = []
+        for event in lane_events:
+            ts, dur = float(event["ts"]), float(event["dur"])
+            while stack and ts >= stack[-1][0] + stack[-1][1] - 1e-9:
+                stack.pop()
+            if stack:
+                self_dur[stack[-1][2]] -= dur
+            stack.append((ts, dur, id(event)))
+    return self_dur
+
+
 def summarize_trace(payload: Dict[str, object], top: int = 10) -> str:
     """A text digest of a loaded trace (lanes, phases, cache, longest spans)."""
     events = payload["traceEvents"]
@@ -183,15 +229,35 @@ def summarize_trace(payload: Dict[str, object], top: int = 10) -> str:
                 f"; {corrupt:g} corrupt entries treated as misses"
             )
         lines.append(cache_line)
-    if complete:
-        span_end = max(float(e["ts"]) + float(e["dur"]) for e in complete)
+    span_events = [e for e in complete if e.get("cat") != "profile"]
+    profile_events = [e for e in complete if e.get("cat") == "profile"]
+    if span_events:
+        self_dur = _event_self_times(span_events)
+        span_end = max(float(e["ts"]) + float(e["dur"]) for e in span_events)
         lines.append(f"trace span: {span_end / 1e3:.2f} ms")
-        lines.append(f"longest {min(top, len(complete))} spans:")
-        longest = sorted(complete, key=lambda e: -float(e["dur"]))[:top]
+        lines.append(
+            f"longest {min(top, len(span_events))} spans (total / self):"
+        )
+        longest = sorted(span_events, key=lambda e: -float(e["dur"]))[:top]
         for event in longest:
             path = event.get("args", {}).get("path", event["name"])
             lines.append(
-                f"  {float(event['dur']) / 1e3:10.2f} ms  pid={event['pid']}"
-                f"  {path}"
+                f"  {float(event['dur']) / 1e3:10.2f} ms"
+                f" / {self_dur[id(event)] / 1e3:10.2f} ms self"
+                f"  pid={event['pid']}  {path}"
             )
+        by_path: Dict[str, float] = {}
+        for event in span_events:
+            path = str(event.get("args", {}).get("path", event["name"]))
+            by_path[path] = by_path.get(path, 0.0) + self_dur[id(event)]
+        lines.append(f"top {min(top, len(by_path))} self-time paths:")
+        ranked = sorted(by_path.items(), key=lambda item: (-item[1], item[0]))
+        for path, self_us in ranked[:top]:
+            lines.append(f"  {self_us / 1e3:10.2f} ms self  {path}")
+    if profile_events:
+        sampled_seconds = sum(float(e["dur"]) for e in profile_events) / 1e6
+        lines.append(
+            f"profiler lane: {len(profile_events)} sampled stacks, "
+            f"{sampled_seconds:.2f} s of samples"
+        )
     return "\n".join(lines)

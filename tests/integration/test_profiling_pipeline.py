@@ -1,0 +1,153 @@
+"""Integration tests for the sampling profiler on real pipeline work.
+
+Pins the ISSUE's acceptance criteria for ``repro.obs.profile``: sample
+attribution on the detector workload stays >= 95%, the profiler's
+wall-clock overhead at the default rate stays under 10% (slow-marked --
+timing-sensitive), profiles ride telemetry capsules out of live worker
+processes, and the CLI round-trips ``--profile-out`` artifacts through
+``repro profile`` re-exports.
+"""
+
+import pytest
+
+from repro.attacks.population import PopulationConfig, generate_population
+from repro.cli import main
+from repro.detectors import JointDetector
+from repro.marketplace.challenge import RatingChallenge
+from repro.obs import (
+    MetricsRegistry,
+    SpanProfiler,
+    disable_profiling,
+    enable_profiling,
+    read_speedscope,
+    set_registry,
+    use_registry,
+)
+from repro.obs.profile import attributed_fraction, read_profile
+
+SEED = 2008
+
+
+def detector_workload(population_size, registry, profile=False, hz=97):
+    """The bench-detectors scenario: joint detection over attacked data."""
+    challenge = RatingChallenge(seed=SEED)
+    population = generate_population(
+        challenge, PopulationConfig(size=population_size), seed=SEED + 1
+    )
+    detector = JointDetector(registry=registry)
+    with use_registry(registry):
+        if profile:
+            with SpanProfiler(registry, hz=hz):
+                for submission in population:
+                    dataset = challenge.attacked_dataset(submission)
+                    for product_id in dataset:
+                        detector.analyze(dataset[product_id])
+        else:
+            for submission in population:
+                dataset = challenge.attacked_dataset(submission)
+                for product_id in dataset:
+                    detector.analyze(dataset[product_id])
+
+
+class TestAttribution:
+    def test_at_least_95_percent_of_samples_land_in_a_span(self):
+        registry = MetricsRegistry()
+        detector_workload(2, registry, profile=True)
+        assert sum(registry.profile.values()) > 0
+        assert attributed_fraction(registry.profile) >= 0.95
+        # Attribution reaches the individual sub-detector spans, not
+        # just some outer wrapper.
+        assert any(
+            key.startswith("span:detect") or ".detector." in key.split(";")[0]
+            for key in registry.profile
+        )
+
+
+@pytest.mark.slow
+class TestOverhead:
+    def test_profiler_overhead_under_ten_percent(self):
+        """bench_obs_baseline's profiler_overhead_ratio, as an assertion."""
+        import time
+
+        def timed(profile):
+            registry = MetricsRegistry()
+            start = time.perf_counter()
+            detector_workload(4, registry, profile=profile)
+            return time.perf_counter() - start
+
+        timed(False)  # warm caches/imports before measuring
+        # Best-of-3, interleaved: the minimum is what the workload costs
+        # without scheduler noise, which is the honest overhead basis.
+        plain = min(timed(False) for _ in range(3))
+        profiled = min(timed(True) for _ in range(3))
+        assert profiled / plain < 1.10, (
+            f"profiler overhead x{profiled / plain:.3f} exceeds the 1.10 "
+            f"budget (plain={plain:.2f}s profiled={profiled:.2f}s)"
+        )
+
+
+class TestWorkerProfiles:
+    def test_parallel_tasks_profile_themselves_and_merge_back(self):
+        from repro.experiments.context import ExperimentContext
+
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        enable_profiling(hz=200)
+        try:
+            context = ExperimentContext(
+                seed=SEED,
+                population_size=3,
+                workers=2,
+                hermetic_telemetry=True,
+            )
+            context.results_for("P")
+            context.close()
+        finally:
+            disable_profiling()
+            set_registry(previous)
+        assert registry.profile
+        # Worker samples were re-parented under the dispatching span.
+        assert any(
+            key.startswith("span:exec.map.exec.task.")
+            for key in registry.profile
+        )
+        assert registry.counter_value("profile.samples") == pytest.approx(
+            sum(registry.profile.values())
+        )
+
+
+class TestCliProfileRoundTrip:
+    def test_profile_out_then_inspect_and_reexport(self, tmp_path, capsys):
+        profile_path = tmp_path / "profile.json"
+        speedscope_path = tmp_path / "profile.speedscope.json"
+        collapsed_path = tmp_path / "profile.collapsed"
+        status = main([
+            "population",
+            "--seed", "7",
+            "--size", "3",
+            "--scheme", "P",
+            "--top", "2",
+            "--profile-out", str(profile_path),
+        ])
+        assert status == 0
+        payload = read_profile(profile_path)  # structural validation
+        assert sum(payload["samples"].values()) > 0
+
+        status = main([
+            "profile", str(profile_path),
+            "--top", "5",
+            "--speedscope", str(speedscope_path),
+            "--collapsed", str(collapsed_path),
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "structurally valid" in out
+        assert "span-attributed" in out
+        document = read_speedscope(speedscope_path)
+        assert document["profiles"][0]["samples"]
+        collapsed = collapsed_path.read_text()
+        assert collapsed
+        for line in collapsed.strip().splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert stack.startswith("span:")
+            assert float(count) > 0

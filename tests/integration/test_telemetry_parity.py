@@ -18,7 +18,7 @@ import pytest
 
 from repro.cli import main
 from repro.experiments.context import ExperimentContext
-from repro.obs import MetricsRegistry, read_trace, set_registry
+from repro.obs import MetricsRegistry, TelemetryCapsule, read_trace, set_registry
 from repro.obs.ledger import RunLedger
 
 SEED = 2008
@@ -134,6 +134,77 @@ class TestSerialParallelTelemetryParity:
         assert any(p.startswith("exec.map.exec.task.") for p in paths)
         # At least one span came back from a different process.
         assert any(record.pid for record in registry.spans)
+
+
+class TestCapsuleProfileMergeParity:
+    """Profiles merged through capsules are topology-independent.
+
+    Live sample *counts* are timing noise, so parity is pinned on
+    synthetic capsules: the same task capsules folded into a parent in
+    task order must produce a bit-identical merged profile no matter how
+    the pool chunked them -- and even under arbitrary completion order,
+    because per-key counter addition commutes.
+    """
+
+    def _task_capsules(self, count=4):
+        capsules = []
+        for index in range(count):
+            registry = MetricsRegistry()
+            registry.add_profile_samples({
+                f"span:exec.task.detect.detector.ME;f.py:g{index}": 3.0 + index,
+                "span:exec.task.detect.detector.HC;f.py:h": 2.0,
+                "span:-;pool.py:idle": 1.0,  # span closed mid-sample
+            })
+            capsules.append(TelemetryCapsule.capture(registry))
+        return capsules
+
+    def _merge(self, capsules, order):
+        registry = MetricsRegistry()
+        for index in order:
+            capsules[index].merge_into(registry, parent_path="exec.map")
+        return dict(registry.profile)
+
+    def test_merged_profile_identical_across_chunk_shapes(self):
+        capsules = self._task_capsules()
+        # workers=0 (one chunk), workers=2 (interleaved chunks), and a
+        # pool that completed out of order all merge in task order.
+        serial = self._merge(capsules, [0, 1, 2, 3])
+        assert serial == self._merge(capsules, [0, 1, 2, 3])
+        # Counter-add commutes, so even completion order is irrelevant.
+        assert serial == self._merge(capsules, [3, 1, 0, 2])
+
+    def test_merge_reparents_under_dispatching_span(self):
+        merged = self._merge(self._task_capsules(1), [0])
+        assert (
+            "span:exec.map.exec.task.detect.detector.ME;f.py:g0" in merged
+        )
+        assert not any(
+            key.startswith("span:exec.task") for key in merged
+        )
+
+    def test_spans_closed_mid_sample_stay_unattributed(self):
+        # A sampler tick can land after the task's spans closed; those
+        # samples are span:- and must never be re-parented into a span.
+        merged = self._merge(self._task_capsules(2), [0, 1])
+        assert merged["span:-;pool.py:idle"] == 2.0
+
+    def test_empty_profile_capsule_is_a_no_op(self):
+        registry = MetricsRegistry()
+        empty = TelemetryCapsule.capture(MetricsRegistry())
+        assert empty.empty
+        empty.merge_into(registry, parent_path="exec.map")
+        assert registry.profile == {}
+
+    def test_profile_only_capsule_round_trips_through_pickle(self):
+        import pickle
+
+        source = MetricsRegistry()
+        source.add_profile_samples({"span:detect;f.py:g": 5.0})
+        capsule = pickle.loads(pickle.dumps(TelemetryCapsule.capture(source)))
+        assert not capsule.empty
+        registry = MetricsRegistry()
+        capsule.merge_into(registry)
+        assert registry.profile == {"span:detect;f.py:g": 5.0}
 
 
 class TestCliTraceExport:

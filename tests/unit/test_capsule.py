@@ -44,6 +44,17 @@ class TestCapture:
     def test_empty_capsule(self):
         assert TelemetryCapsule.capture(MetricsRegistry()).empty
 
+    def test_capture_carries_profile_samples(self):
+        registry = populated_registry()
+        registry.add_profile_samples({"span:detect;f.py:g": 4.0})
+        capsule = TelemetryCapsule.capture(registry)
+        assert capsule.profile == {"span:detect;f.py:g": 4.0}
+
+    def test_profile_alone_makes_a_capsule_non_empty(self):
+        registry = MetricsRegistry()
+        registry.add_profile_samples({"span:detect;f.py:g": 1.0})
+        assert not TelemetryCapsule.capture(registry).empty
+
     def test_pickle_round_trip(self):
         capsule = TelemetryCapsule.capture(populated_registry())
         clone = pickle.loads(pickle.dumps(capsule))
@@ -104,6 +115,26 @@ class TestMerge:
         assert parent.histograms[
             "span.pscheme.monthly_scores.seconds"
         ].count == 1
+
+    def test_profile_samples_reparent_and_add(self):
+        parent = MetricsRegistry()
+        parent.add_profile_samples(
+            {"span:exec.map.exec.task.detect;f.py:g": 1.0}
+        )
+        donor = MetricsRegistry()
+        donor.add_profile_samples({
+            "span:exec.task.detect;f.py:g": 2.0,
+            "span:-;pool.py:idle": 3.0,
+        })
+        TelemetryCapsule.capture(donor).merge_into(
+            parent, parent_path="exec.map"
+        )
+        # The worker key folds under the dispatching span and adds onto
+        # the parent's existing count; unattributed samples stay span:-.
+        assert parent.profile == {
+            "span:exec.map.exec.task.detect;f.py:g": 3.0,
+            "span:-;pool.py:idle": 3.0,
+        }
 
     def test_merge_into_null_registry_is_noop(self):
         capsule = TelemetryCapsule.capture(populated_registry())

@@ -30,6 +30,7 @@ def make_record(
     counters=None,
     fingerprint="wf-1",
     argv=None,
+    timings=None,
 ):
     return RunRecord(
         run_id=run_id,
@@ -41,7 +42,7 @@ def make_record(
         digests=dict(digests or {"population.top_mp": 1.25}),
         metrics={"counters": dict(counters or {"detector.joint.calls": 8.0}),
                  "gauges": {}},
-        timings={"wall_seconds": wall},
+        timings={"wall_seconds": wall, **(timings or {})},
         env={},
     )
 
@@ -106,6 +107,47 @@ class TestBuildRecord:
         assert record.timings["task_p50"] == pytest.approx(0.2)
         assert set(record.env) >= {"python", "cpu_count", "platform"}
         assert len(record.run_id) == 12
+
+    def test_record_carries_span_self_time_percentiles(self):
+        from repro.obs.spans import SpanRecord
+
+        registry = MetricsRegistry()
+        registry.adopt_span(
+            SpanRecord("p", "p", 0, start=0.0, duration=10.0)
+        )
+        registry.adopt_span(
+            SpanRecord("c", "p.c", 1, start=1.0, duration=4.0)
+        )
+        record = build_record(
+            command="population", argv=["population"], registry=registry,
+            timestamp=1.0,
+        )
+        # Self time: the child's 4s came out of the parent's 10s.
+        assert record.timings["self.p.p50"] == pytest.approx(6.0)
+        assert record.timings["self.p.p90"] == pytest.approx(6.0)
+        assert record.timings["self.p.c.p50"] == pytest.approx(4.0)
+
+    def test_self_time_paths_capped_to_heaviest(self):
+        from repro.obs.ledger import MAX_SELF_TIME_PATHS
+        from repro.obs.spans import SpanRecord
+
+        registry = MetricsRegistry()
+        for index in range(MAX_SELF_TIME_PATHS + 4):
+            registry.adopt_span(SpanRecord(
+                f"s{index}", f"s{index}", 0,
+                start=float(index * 100), duration=float(index + 1),
+            ))
+        record = build_record(
+            command="population", argv=["population"], registry=registry,
+            timestamp=1.0,
+        )
+        self_keys = {
+            name for name in record.timings if name.startswith("self.")
+        }
+        assert len(self_keys) == 2 * MAX_SELF_TIME_PATHS
+        # The lightest paths were dropped, the heaviest kept.
+        assert "self.s0.p50" not in self_keys
+        assert f"self.s{MAX_SELF_TIME_PATHS + 3}.p50" in self_keys
 
     def test_run_id_deterministic_in_inputs(self):
         registry = MetricsRegistry()
@@ -244,6 +286,42 @@ class TestCheckLedger:
             max_timing_ratio=10.0,
         )
         assert report.ok
+
+    def test_self_timing_regression_flagged(self, tmp_path):
+        base = [
+            make_record(f"base{i:02d}", timestamp=1000.0 + i,
+                        timings={"self.detect.p50": 0.2})
+            for i in range(3)
+        ]
+        slow = make_record("latest", timestamp=2000.0,
+                           timings={"self.detect.p50": 0.5})
+        report = check_ledger(self.write(tmp_path, base + [slow]))
+        assert [f.name for f in report.findings] == ["self.detect.p50"]
+        assert "self-time" in report.findings[0].detail
+        # The same ratio knob that gates wall clock gates self time.
+        assert check_ledger(
+            self.write(tmp_path, base + [slow]), max_timing_ratio=3.0
+        ).ok
+
+    def test_self_timing_below_floor_skipped(self, tmp_path):
+        base = [
+            make_record(f"base{i:02d}", timestamp=1000.0 + i,
+                        timings={"self.tiny.p50": 0.01})
+            for i in range(3)
+        ]
+        # 4x regression, but on a sub-floor phase: scheduling noise.
+        noisy = make_record("latest", timestamp=2000.0,
+                            timings={"self.tiny.p50": 0.04})
+        assert check_ledger(self.write(tmp_path, base + [noisy])).ok
+
+    def test_self_timing_without_history_skipped(self, tmp_path):
+        # Baseline records predate the self.* fields (old fixtures):
+        # the new fields must not flag against an empty history.
+        first = make_record("latest", timestamp=2000.0,
+                            timings={"self.detect.p50": 5.0})
+        assert check_ledger(
+            self.write(tmp_path, self.baseline() + [first])
+        ).ok
 
     def test_nonzero_status_flagged(self, tmp_path):
         bad = make_record("latest", timestamp=2000.0, status=2)

@@ -163,3 +163,69 @@ class TestSummarize:
             {"traceEvents": trace_events(traced_registry())}
         )
         assert "MP cache" not in text
+
+    def test_summary_reports_self_time_alongside_total(self):
+        text = summarize_trace(
+            {"traceEvents": trace_events(traced_registry())}
+        )
+        assert "(total / self):" in text
+        assert "ms self" in text
+        assert "self-time paths:" in text
+
+    def test_self_time_subtracts_nested_children(self):
+        events = [
+            {"name": "p", "ph": "X", "ts": 0.0, "dur": 1000.0,
+             "pid": 1, "tid": 1, "cat": "exec", "args": {"path": "p"}},
+            {"name": "p.c", "ph": "X", "ts": 200.0, "dur": 300.0,
+             "pid": 1, "tid": 1, "cat": "exec", "args": {"path": "p.c"}},
+        ]
+        text = summarize_trace({"traceEvents": events})
+        assert "0.70 ms self  p" in text
+        assert "0.30 ms self  p.c" in text
+
+
+class TestProfilerLane:
+    def profiled_registry(self):
+        registry = traced_registry()
+        registry.add_profile_samples({
+            "span:exec.map;repro/cli.py:main;f.py:busy": 42.0,
+            "span:-;pool.py:idle": 8.0,
+        })
+        registry.set_gauge("profile.hz", 100.0)
+        return registry
+
+    def test_profile_samples_become_a_dedicated_lane(self):
+        from repro.obs.profile import PROFILE_TID
+
+        events = trace_events(self.profiled_registry())
+        lane = [e for e in events if e.get("cat") == "profile"]
+        assert len(lane) == 2
+        assert all(e["tid"] == PROFILE_TID for e in lane)
+        assert all(e["pid"] == os.getpid() for e in lane)
+        # 42 samples at 100 Hz = 0.42s rendered as event duration.
+        stacks = {e["args"]["stack"]: e["dur"] for e in lane}
+        assert stacks[
+            "span:exec.map;repro/cli.py:main;f.py:busy"
+        ] == pytest.approx(0.42e6)
+        # The lane is named so viewers label it before drawing.
+        names = [
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert "profiler samples" in names
+        # Metadata still leads the event list.
+        phases = [e["ph"] for e in events]
+        assert phases[: phases.count("M")] == ["M"] * phases.count("M")
+
+    def test_summary_mentions_the_profiler_lane(self):
+        text = summarize_trace(
+            {"traceEvents": trace_events(self.profiled_registry())}
+        )
+        assert "profiler lane: 2 sampled stacks" in text
+        assert "0.50 s of samples" in text
+
+    def test_unprofiled_registry_has_no_profile_lane(self):
+        events = trace_events(traced_registry())
+        assert not any(e.get("cat") == "profile" for e in events)
+        text = summarize_trace({"traceEvents": events})
+        assert "profiler lane" not in text
