@@ -7,8 +7,14 @@ writes ``BENCH_detectors.json`` at the repo root:
 
 - per sub-detector (MC, H-ARC, L-ARC, HC, ME): call count plus p50/p90
   wall-clock seconds from the ``detector.<kind>.seconds`` histograms;
+- aggregate ``analyze_batch`` wall time per population (the batching win,
+  distinct from the per-detector incremental win);
 - the top self-time frames the profiler attributed to detector spans;
 - the overall sample attribution fraction and sampling rate.
+
+Detection runs through :meth:`JointDetector.analyze_batch` -- the
+production path since the batched fast-path rewrite -- so the per-kind
+percentiles reflect what serial, parallel, and online runs actually pay.
 
 The committed file pins the detector hot-path baseline: future PRs that
 touch the detectors re-run ``make bench-detectors`` and diff the per-kind
@@ -57,13 +63,15 @@ def main() -> int:
     registry = MetricsRegistry()
     detector = JointDetector(registry=registry)
     streams = 0
+    batch_seconds = []
     start = time.perf_counter()
     with use_registry(registry), SpanProfiler(registry):
         for submission in population:
             dataset = challenge.attacked_dataset(submission)
-            for product_id in dataset:
-                detector.analyze(dataset[product_id])
-                streams += 1
+            batch_start = time.perf_counter()
+            reports = detector.analyze_batch(dataset)
+            batch_seconds.append(time.perf_counter() - batch_start)
+            streams += len(reports)
     wall_seconds = time.perf_counter() - start
 
     detectors = {}
@@ -79,11 +87,19 @@ def main() -> int:
         }
 
     samples = registry.profile
+    total_batch = sum(batch_seconds)
     payload = {
         "benchmark": "detector_hot_path",
         "population": population_size,
         "streams_analyzed": streams,
         "wall_seconds": wall_seconds,
+        "analyze_batch": {
+            "datasets": len(batch_seconds),
+            "total_seconds": total_batch,
+            "mean_seconds_per_dataset": (
+                total_batch / len(batch_seconds) if batch_seconds else 0.0
+            ),
+        },
         "hz": registry.gauges["profile.hz"].value,
         "total_samples": sum(samples.values()),
         "attributed_fraction": attributed_fraction(samples),
@@ -101,6 +117,10 @@ def main() -> int:
 
     print(f"population={population_size} streams={streams} "
           f"wall={wall_seconds:.2f}s")
+    print(f"analyze_batch: {len(batch_seconds)} datasets in "
+          f"{total_batch:.2f}s "
+          f"({payload['analyze_batch']['mean_seconds_per_dataset'] * 1e3:.1f}ms "
+          f"per dataset)")
     print(f"profile: {payload['total_samples']:.0f} samples at "
           f"{payload['hz']:.0f} Hz, "
           f"{payload['attributed_fraction']:.1%} span-attributed")

@@ -96,12 +96,17 @@ def main() -> int:
     # Machine/interpreter/commit facts make BENCH files comparable
     # across hosts: a ~1x "speedup" on a 1-CPU box is expected, not a
     # regression, and only records from the same git SHA are peers.
+    # ``cpu_bound`` makes that explicit in the record itself: with more
+    # workers than cores, process fan-out cannot beat serial.
+    cpu_count = os.cpu_count()
+    cpu_bound = bool(cpu_count is not None and workers > cpu_count)
     payload = {
         "benchmark": "headline_mp_comparison_parallel",
         "population": population,
         "workers": workers,
         "env": runtime_environment(),
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        "cpu_bound": cpu_bound,
         "serial_seconds": serial_seconds,
         "parallel_seconds": parallel_seconds,
         "parallel_speedup": (
@@ -116,6 +121,12 @@ def main() -> int:
     out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(json.dumps(payload, indent=2, sort_keys=True))
     print(f"\nwrote {out_path}")
+    if cpu_bound:
+        print(
+            f"note: {workers} workers on {cpu_count} CPU(s) -- the run is "
+            "cpu-bound, so parallel_speedup ~1x reflects core starvation, "
+            "not a regression (see cpu_bound in the record)"
+        )
     if not (identical_parallel and identical_warm):
         print("ERROR: parallel or cached results diverged from serial")
         return 1

@@ -1,0 +1,92 @@
+"""Gate a fresh detector bench run against the committed baseline.
+
+Compares a freshly produced ``BENCH_detectors.json`` (first argument)
+against the committed reference file (second argument) and fails when any
+per-detector p50 regressed more than ``ALLOWED_RATIO`` (1.5x), subject to
+a noise floor: p50s below ``NOISE_FLOOR_SECONDS`` in both records are
+too close to timer resolution on shared CI runners to gate on.
+
+Structural checks from the original smoke job are kept here too, so the
+CI step stays a single invocation::
+
+    python benchmarks/check_detector_regression.py fresh.json committed.json
+"""
+
+import json
+import sys
+from pathlib import Path
+
+ALLOWED_RATIO = 1.5
+NOISE_FLOOR_SECONDS = 0.010
+
+
+def check_structure(fresh: dict) -> None:
+    for key in (
+        "benchmark",
+        "detectors",
+        "analyze_batch",
+        "top_self_frames",
+        "attributed_fraction",
+        "hz",
+        "wall_seconds",
+    ):
+        assert key in fresh, f"missing {key}"
+    assert fresh["benchmark"] == "detector_hot_path"
+    assert set(fresh["detectors"]), "no detector stats recorded"
+    for stats in fresh["detectors"].values():
+        assert stats["calls"] > 0
+        assert stats["p90_seconds"] >= stats["p50_seconds"] >= 0
+    batch = fresh["analyze_batch"]
+    assert batch["datasets"] > 0
+    assert batch["total_seconds"] >= 0
+
+
+def check_regressions(fresh: dict, committed: dict) -> list:
+    failures = []
+    for kind, ref in committed.get("detectors", {}).items():
+        now = fresh["detectors"].get(kind)
+        if now is None:
+            failures.append(f"{kind}: missing from fresh run")
+            continue
+        ref_p50 = float(ref["p50_seconds"])
+        now_p50 = float(now["p50_seconds"])
+        # Below the noise floor, timer jitter dominates: only gate once
+        # the fresh p50 clears the floor outright.
+        limit = max(ALLOWED_RATIO * ref_p50, NOISE_FLOOR_SECONDS)
+        if now_p50 > limit:
+            failures.append(
+                f"{kind}: p50 {now_p50 * 1e3:.3f}ms exceeds limit "
+                f"{limit * 1e3:.3f}ms "
+                f"(committed {ref_p50 * 1e3:.3f}ms x {ALLOWED_RATIO})"
+            )
+    return failures
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    fresh = json.loads(Path(sys.argv[1]).read_text())
+    committed = json.loads(Path(sys.argv[2]).read_text())
+    check_structure(fresh)
+    failures = check_regressions(fresh, committed)
+    print("structure OK:", sorted(fresh["detectors"]))
+    for kind in sorted(committed.get("detectors", {})):
+        ref = committed["detectors"][kind]
+        now = fresh["detectors"].get(kind, {})
+        print(
+            f"  {kind:6s} committed p50={float(ref['p50_seconds']) * 1e3:.3f}ms  "
+            f"fresh p50={float(now.get('p50_seconds', float('nan'))) * 1e3:.3f}ms"
+        )
+    if failures:
+        print("REGRESSION:")
+        for failure in failures:
+            print(" -", failure)
+        return 1
+    print("no per-detector p50 regression beyond "
+          f"{ALLOWED_RATIO}x (noise floor {NOISE_FLOOR_SECONDS * 1e3:.0f}ms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

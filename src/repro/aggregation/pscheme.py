@@ -164,30 +164,46 @@ class PScheme(AggregationScheme):
         arrays are write-protected: cached masks are shared across calls,
         so a mutating caller would otherwise corrupt every later cache
         hit.  Copy before modifying.
+
+        Detection itself runs through the joint detector's batched fast
+        path: on the trust-free pass only the cache-missing streams are
+        re-bundled into a dataset and analyzed together, so a warm cache
+        pays one batched pass over the attacked products only.
         """
         registry = self.registry
-        marks: Dict[str, np.ndarray] = {}
-        for product_id in dataset:
-            stream = dataset[product_id]
-            if trust_lookup is not None:
-                mask = self.detector.analyze(stream, trust_lookup).suspicious
+        if trust_lookup is not None:
+            reports = self.detector.analyze_batch(dataset, trust_lookup)
+            marks: Dict[str, np.ndarray] = {}
+            for product_id in dataset:
+                mask = reports[product_id].suspicious
                 mask.setflags(write=False)
                 marks[product_id] = mask
-                continue
+            return marks
+        marks = {}
+        keys: Dict[str, tuple] = {}
+        missing = []
+        for product_id in dataset:
+            stream = dataset[product_id]
             key = _stream_key(stream)
+            keys[product_id] = key
             cached = self._report_cache.get(key)
             if cached is None:
                 registry.inc("pscheme.report_cache.misses")
-                cached = self.detector.analyze(stream).suspicious
-                cached.setflags(write=False)
-                self._report_cache[key] = cached
+                missing.append(stream)
+            else:
+                registry.inc("pscheme.report_cache.hits")
+                marks[product_id] = cached
+        if missing:
+            reports = self.detector.analyze_batch(RatingDataset(missing))
+            for stream in missing:
+                mask = reports[stream.product_id].suspicious
+                mask.setflags(write=False)
+                self._report_cache[keys[stream.product_id]] = mask
                 while len(self._report_cache) > max(4 * self.config.cache_size, 64):
                     self._report_cache.popitem(last=False)
                     registry.inc("pscheme.report_cache.evictions")
-            else:
-                registry.inc("pscheme.report_cache.hits")
-            marks[product_id] = cached
-        return marks
+                marks[stream.product_id] = mask
+        return {product_id: marks[product_id] for product_id in dataset}
 
     # ------------------------------------------------------------------ #
 

@@ -102,6 +102,7 @@ from repro.obs import (
     write_report,
 )
 from repro.obs.trace import read_trace, summarize_trace, write_trace
+from repro.types import RatingDataset
 
 __all__ = ["main", "build_parser"]
 
@@ -718,9 +719,15 @@ def _cmd_report(args) -> int:
         for submission in population:
             attacked = challenge.attacked_dataset(submission)
             archetype = labels[submission.submission_id].archetype
+            # Batch only the attacked products: that is the exact set of
+            # streams the per-stream loop analyzed, so the quality.*
+            # counters stay identical.
+            reports = detector.analyze_batch(
+                RatingDataset([attacked[pid] for pid in submission.product_ids])
+            )
             for pid in submission.product_ids:
                 stream = attacked[pid]
-                card = score_detection(stream, detector.analyze(stream))
+                card = score_detection(stream, reports[pid])
                 cards.append(card)
                 scorecard_rows.append(
                     (
@@ -749,8 +756,8 @@ def _cmd_report(args) -> int:
         first = population[0]
         attacked = challenge.attacked_dataset(first)
         marks = {
-            pid: detector.analyze(attacked[pid]).suspicious
-            for pid in attacked
+            pid: report.suspicious
+            for pid, report in detector.analyze_batch(attacked).items()
         }
         epoch_times = []
         edge = challenge.start_day + epoch_days

@@ -1,0 +1,126 @@
+"""Columnar (struct-of-arrays) view of a rating dataset.
+
+:class:`~repro.types.RatingStream` already stores each product's ratings
+as numpy arrays, but a dataset is still a *collection* of per-product
+objects: any pass over all products pays one Python round-trip per
+stream.  :class:`StreamColumns` flattens a whole dataset into contiguous
+concatenated columns -- value / time / unfair plus integer rater codes --
+indexed by an offsets array, so cross-stream kernels (the joint
+detector's batched HC clustering and AR solves) can slice every product
+out of one allocation.
+
+This is a scoped slice of the ROADMAP's columnar-store refactor (item 1):
+the extraction is read-only and per-analysis, leaving the public
+``RatingStream`` representation untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.types import RatingDataset
+
+__all__ = ["StreamColumns", "extract_columns"]
+
+
+@dataclass(frozen=True)
+class StreamColumns:
+    """Contiguous columnar arrays for all streams of one dataset.
+
+    Attributes
+    ----------
+    product_ids:
+        Products in dataset iteration order; stream ``i`` occupies rows
+        ``offsets[i]:offsets[i + 1]`` of every column.
+    times, values, unfair:
+        Concatenated per-rating columns (float, float, bool).
+    offsets:
+        ``(num_streams + 1,)`` int array of stream boundaries.
+    rater_codes:
+        Per-rating integer codes into ``rater_vocab`` (sorted unique
+        rater ids across the dataset), replacing the per-stream string
+        tuples for numeric passes.
+    rater_vocab:
+        Code -> rater id decoding table.
+    """
+
+    product_ids: Tuple[str, ...]
+    times: np.ndarray
+    values: np.ndarray
+    unfair: np.ndarray
+    offsets: np.ndarray
+    rater_codes: np.ndarray
+    rater_vocab: Tuple[str, ...]
+
+    @property
+    def num_streams(self) -> int:
+        """Number of product streams in the dataset."""
+        return len(self.product_ids)
+
+    @property
+    def total_ratings(self) -> int:
+        """Total ratings across all streams."""
+        return int(self.times.size)
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Per-stream rating counts, aligned with ``product_ids``."""
+        return np.diff(self.offsets)
+
+    def stream_slice(self, index: int) -> slice:
+        """Row slice of stream ``index`` into every column."""
+        return slice(int(self.offsets[index]), int(self.offsets[index + 1]))
+
+    def stream_times(self, index: int) -> np.ndarray:
+        """Time column of stream ``index`` (zero-copy view)."""
+        return self.times[self.stream_slice(index)]
+
+    def stream_values(self, index: int) -> np.ndarray:
+        """Value column of stream ``index`` (zero-copy view)."""
+        return self.values[self.stream_slice(index)]
+
+
+def extract_columns(dataset: RatingDataset) -> StreamColumns:
+    """Flatten ``dataset`` into one :class:`StreamColumns`.
+
+    Streams appear in dataset iteration order (insertion order, which is
+    what every detection pass iterates in), so downstream per-stream
+    results can be zipped back against ``dataset`` directly.
+    """
+    product_ids = tuple(dataset)
+    streams = [dataset[pid] for pid in product_ids]
+    lengths = np.fromiter(
+        (len(s) for s in streams), dtype=np.int64, count=len(streams)
+    )
+    offsets = np.zeros(len(streams) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    total = int(offsets[-1])
+    if total:
+        times = np.concatenate([s.times for s in streams])
+        values = np.concatenate([s.values for s in streams])
+        unfair = np.concatenate([s.unfair for s in streams])
+    else:
+        times = np.empty(0, dtype=float)
+        values = np.empty(0, dtype=float)
+        unfair = np.empty(0, dtype=bool)
+    vocab = sorted({r for s in streams for r in s.rater_ids})
+    code_of: Dict[str, int] = {rater: code for code, rater in enumerate(vocab)}
+    rater_codes = np.fromiter(
+        (code_of[r] for s in streams for r in s.rater_ids),
+        dtype=np.int64,
+        count=total,
+    )
+    for column in (times, values, unfair, offsets, rater_codes):
+        column.setflags(write=False)
+    return StreamColumns(
+        product_ids=product_ids,
+        times=times,
+        values=values,
+        unfair=unfair,
+        offsets=offsets,
+        rater_codes=rater_codes,
+        rater_vocab=tuple(vocab),
+    )

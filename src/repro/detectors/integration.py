@@ -43,6 +43,7 @@ from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.detectors.arrival_rate import ArrivalRateDetector, ArrivalRateReport
 from repro.detectors.base import (
@@ -57,12 +58,24 @@ from repro.detectors.base import (
     DetectorConfig,
     TimeInterval,
 )
+from repro.detectors.columns import StreamColumns, extract_columns
 from repro.detectors.histogram import HistogramChangeDetector
 from repro.detectors.mean_change import MeanChangeDetector, MeanChangeReport
 from repro.detectors.model_error import ModelErrorDetector
 from repro.obs import get_logger
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.obs.spans import span
+from repro.signal.ar import (
+    normalized_errors_from_operands,
+    sliding_ar_normalized_errors,
+    sliding_ar_operands,
+)
+from repro.signal.curves import (
+    Curve,
+    histogram_change_curve_from_stats,
+    model_error_curve_from_errors,
+)
+from repro.signal.rolling import sliding_vars, two_cluster_balance
 from repro.types import RatingStream
 
 __all__ = ["JointDetector"]
@@ -220,12 +233,19 @@ class JointDetector:
         self,
         stream: RatingStream,
         trust_lookup: Optional[TrustLookup] = None,
+        precomputed: Optional[Dict[str, Curve]] = None,
     ) -> DetectionReport:
         """Run both detection paths over one product stream.
 
         ``trust_lookup`` (rater id -> current trust) feeds the
         trust-moderated MC segment rule; omit it on the first pass, before
         any trust has been established.
+
+        ``precomputed`` optionally carries indicator curves (keyed by
+        detector kind) that :meth:`analyze_batch` already built in its
+        cross-stream pass; the matching sub-detectors then only threshold
+        the curve instead of recomputing it.  Detection output is
+        bit-identical either way.
         """
         n = len(stream)
         if n < self.config.min_ratings:
@@ -240,11 +260,22 @@ class JointDetector:
         high_mask = stream.values > threshold_a
         low_mask = stream.values < threshold_b
 
+        precomputed = precomputed or {}
         mc_report = self._timed("MC", self.mean_change.analyze, stream, trust_lookup)
         harc_report = self._timed("H-ARC", self.h_arc.analyze, stream)
         larc_report = self._timed("L-ARC", self.l_arc.analyze, stream)
-        hc_report = self._timed("HC", self.histogram.analyze, stream)
-        me_report = self._timed("ME", self.model_error.analyze, stream)
+        if "HC" in precomputed:
+            hc_report = self._timed(
+                "HC", self.histogram.report_from_curve, precomputed["HC"]
+            )
+        else:
+            hc_report = self._timed("HC", self.histogram.analyze, stream)
+        if "ME" in precomputed:
+            me_report = self._timed(
+                "ME", self.model_error.report_from_curve, precomputed["ME"]
+            )
+        else:
+            me_report = self._timed("ME", self.model_error.analyze, stream)
 
         mask = np.zeros(n, dtype=bool)
         provenance = np.zeros(n, dtype=np.uint8)
@@ -303,13 +334,149 @@ class JointDetector:
             emit_scorecard(score_detection(stream, report), registry)
         return report
 
+    # ------------------------------------------------------------------ #
+    # Batched cross-stream fast path
+    # ------------------------------------------------------------------ #
+
+    def _batch_hc_curves(
+        self, columns: StreamColumns, eligible: List[int]
+    ) -> Dict[str, Curve]:
+        """Precompute HC curves for every eligible stream in one pass.
+
+        All streams' sliding windows are stacked into a single matrix and
+        clustered with one :func:`two_cluster_balance` call -- each row is
+        independent, so the stacked results match the per-stream ones
+        bit-for-bit.
+        """
+        window = self.config.hc_window_ratings
+        lengths = columns.lengths
+        indices = [i for i in eligible if lengths[i] >= window]
+        if not indices:
+            return {}
+        stacks = [
+            sliding_window_view(columns.stream_values(i), window) for i in indices
+        ]
+        balances = two_cluster_balance(np.concatenate(stacks))
+        curves: Dict[str, Curve] = {}
+        cursor = 0
+        for i, stack in zip(indices, stacks):
+            count = stack.shape[0]
+            curves[columns.product_ids[i]] = histogram_change_curve_from_stats(
+                columns.stream_times(i), balances[cursor : cursor + count], window
+            )
+            cursor += count
+        return curves
+
+    def _batch_me_curves(
+        self, columns: StreamColumns, eligible: List[int], registry: MetricsRegistry
+    ) -> Dict[str, Curve]:
+        """Precompute ME curves for every eligible stream in one pass.
+
+        Every stream's AR design matrices and targets are concatenated and
+        the covariance normal equations are solved as one stacked LAPACK
+        batch.  A singular window anywhere in the batch falls back to the
+        per-stream solver (which handles singularity with the
+        pseudo-inverse), counted under ``detector.batch.fallbacks``.
+        """
+        window = self.config.me_window_ratings
+        order = self.config.ar_order
+        lengths = columns.lengths
+        indices = [i for i in eligible if lengths[i] >= window]
+        if not indices:
+            return {}
+        designs = []
+        targets = []
+        variances = []
+        counts = []
+        for i in indices:
+            values = columns.stream_values(i)
+            d, t = sliding_ar_operands(values, window, order)
+            designs.append(d)
+            targets.append(t)
+            variances.append(sliding_vars(values, window))
+            counts.append(d.shape[0])
+        try:
+            errors = normalized_errors_from_operands(
+                np.concatenate(designs),
+                np.concatenate(targets),
+                np.concatenate(variances),
+                order,
+            )
+            per_stream = np.split(errors, np.cumsum(counts)[:-1])
+        except np.linalg.LinAlgError:
+            registry.inc("detector.batch.fallbacks")
+            per_stream = [
+                sliding_ar_normalized_errors(columns.stream_values(i), window, order)
+                for i in indices
+            ]
+        return {
+            columns.product_ids[i]: model_error_curve_from_errors(
+                columns.stream_times(i), stream_errors, window
+            )
+            for i, stream_errors in zip(indices, per_stream)
+        }
+
+    def analyze_batch(
+        self,
+        dataset,
+        trust_lookup: Optional[TrustLookup] = None,
+    ) -> Dict[str, DetectionReport]:
+        """Run detection over every product of a dataset, batched.
+
+        The dataset is first flattened into contiguous columnar arrays
+        (:func:`~repro.detectors.columns.extract_columns`); the HC and ME
+        indicator curves -- the two detectors that dominated the serial
+        profile -- are then precomputed for *all* streams in single
+        stacked numpy/LAPACK passes under the ``detector.batch`` span.
+        The per-stream :meth:`analyze` calls that follow consume the
+        precomputed curves, so every report (masks, provenance, curves,
+        ``quality.*`` scorecards) is bit-identical to the per-stream path
+        while the window-statistic work runs once per dataset instead of
+        once per product.
+
+        Batch telemetry: ``detector.batch.calls`` / ``.streams`` /
+        ``.ratings`` counters, the ``detector.batch.seconds`` histogram
+        for the precompute wall time, and ``detector.batch.fallbacks``
+        when a singular AR batch drops to the per-stream solver.
+        """
+        registry = self.registry
+        with span("detector.batch", registry):
+            start = perf_counter()
+            columns = extract_columns(dataset)
+            eligible = [
+                i
+                for i, length in enumerate(columns.lengths)
+                if length >= self.config.min_ratings
+            ]
+            precomputed: Dict[str, Dict[str, Curve]] = {}
+            for product_id, curve in self._batch_hc_curves(
+                columns, eligible
+            ).items():
+                precomputed.setdefault(product_id, {})["HC"] = curve
+            for product_id, curve in self._batch_me_curves(
+                columns, eligible, registry
+            ).items():
+                precomputed.setdefault(product_id, {})["ME"] = curve
+            elapsed = perf_counter() - start
+        registry.observe("detector.batch.seconds", elapsed)
+        registry.inc("detector.batch.calls")
+        registry.inc("detector.batch.streams", columns.num_streams)
+        registry.inc("detector.batch.ratings", columns.total_ratings)
+        return {
+            product_id: self.analyze(
+                dataset[product_id], trust_lookup, precomputed.get(product_id)
+            )
+            for product_id in dataset
+        }
+
     def analyze_dataset(
         self,
         dataset,
         trust_lookup: Optional[TrustLookup] = None,
     ) -> Dict[str, DetectionReport]:
-        """Run :meth:`analyze` over every product in a dataset."""
-        return {
-            product_id: self.analyze(dataset[product_id], trust_lookup)
-            for product_id in dataset
-        }
+        """Run detection over every product in a dataset.
+
+        Delegates to :meth:`analyze_batch`; kept as the stable name used
+        throughout the experiment and marketplace layers.
+        """
+        return self.analyze_batch(dataset, trust_lookup)

@@ -115,9 +115,9 @@ def _measure(
     detector = JointDetector(config)
     marked = total = 0
     for dataset in fair_datasets:
+        reports = detector.analyze_batch(dataset)
         for product_id in dataset:
-            report = detector.analyze(dataset[product_id])
-            marked += report.num_suspicious
+            marked += reports[product_id].num_suspicious
             total += len(dataset[product_id])
     false_alarm = marked / max(total, 1)
     recalls: List[float] = []

@@ -30,7 +30,14 @@ import numpy as np
 from repro.errors import EmptyDataError, ValidationError
 from repro.utils.validation import check_positive_int
 
-__all__ = ["ARFit", "fit_ar_covariance", "model_error"]
+__all__ = [
+    "ARFit",
+    "fit_ar_covariance",
+    "model_error",
+    "sliding_ar_operands",
+    "normalized_errors_from_operands",
+    "sliding_ar_normalized_errors",
+]
 
 
 @dataclass(frozen=True)
@@ -122,3 +129,112 @@ def fit_ar_covariance(x: np.ndarray, order: int) -> ARFit:
 def model_error(x: np.ndarray, order: int = 4) -> float:
     """Convenience wrapper returning only the normalized model error."""
     return fit_ar_covariance(x, order).normalized_error
+
+
+# --------------------------------------------------------------------- #
+# Sliding-window fast path
+#
+# The ME indicator curve fits an AR model in every length-``window``
+# window of a stream.  Successive windows share all but one row of their
+# covariance-method design matrix, so instead of rebuilding (and
+# re-multiplying) the matrix per window, the whole stack of designs is
+# materialized once from the global sliding-window view and every gram
+# matrix / cross vector / solve / residual runs as one batched gufunc
+# pass.  Each batch slice sees exactly the operands the per-window
+# :func:`fit_ar_covariance` would build (same values, same contiguous
+# layout), and numpy's stacked matmul / solve dispatch the identical BLAS
+# and LAPACK routines per slice -- so the results are bit-identical to
+# the naive loop (property-pinned in the curve test suite).
+# --------------------------------------------------------------------- #
+
+
+def sliding_ar_operands(x: np.ndarray, window: int, order: int):
+    """``(designs, targets)`` for every length-``window`` window of ``x``.
+
+    ``designs`` is ``(K, window - order, order)`` with ``designs[s]``
+    bit-equal to the contiguous design matrix ``fit_ar_covariance`` builds
+    for ``x[s:s+window]``; ``targets[s]`` is the matching prediction
+    target ``x[s+order : s+window]``.  ``K = x.size - window + 1``.
+    """
+    x = np.asarray(x, dtype=float)
+    rows = window - order
+    num_windows = x.size - window + 1
+    if num_windows <= 0:
+        return (
+            np.empty((0, max(rows, 0), order), dtype=float),
+            np.empty((0, max(rows, 0)), dtype=float),
+        )
+    lagged = np.lib.stride_tricks.sliding_window_view(x, order)[:, ::-1]
+    designs = np.ascontiguousarray(
+        np.lib.stride_tricks.sliding_window_view(lagged, (rows, order))[
+            :num_windows, 0
+        ]
+    )
+    targets = np.lib.stride_tricks.sliding_window_view(x[order:], rows)[
+        :num_windows
+    ]
+    return designs, targets
+
+
+def normalized_errors_from_operands(
+    designs: np.ndarray,
+    targets: np.ndarray,
+    variances: np.ndarray,
+    order: int,
+) -> np.ndarray:
+    """Normalized AR model errors for a stack of window operands.
+
+    One batched gram / solve / residual pass over all windows; raises
+    :class:`numpy.linalg.LinAlgError` when any window's normal equations
+    are singular (callers fall back to the per-window pinv path for that
+    stream).  ``variances`` holds each window's value variance; windows
+    with (near-)zero variance get error ``1.0``, matching
+    :func:`fit_ar_covariance`.
+    """
+    rows = targets.shape[1]
+    window = rows + order
+    transposed = designs.transpose(0, 2, 1)
+    grams = np.matmul(transposed, designs)
+    crosses = np.matmul(transposed, targets[:, :, None])
+    solutions = np.linalg.solve(grams, crosses)
+    residuals = targets - np.matmul(designs, solutions)[:, :, 0]
+    error_powers = np.matmul(residuals[:, None, :], residuals[:, :, None])[
+        :, 0, 0
+    ]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        normalized = error_powers / ((window - order) * variances)
+    return np.where(variances <= 1e-12, 1.0, normalized)
+
+
+def sliding_ar_normalized_errors(
+    x: np.ndarray, window: int, order: int
+) -> np.ndarray:
+    """Normalized model error of every length-``window`` window of ``x``.
+
+    ``out[s]`` equals ``fit_ar_covariance(x[s:s+window], order)
+    .normalized_error`` bit-for-bit.  Streams containing a singular
+    window (e.g. constant values) fall back to the per-window fit, which
+    handles singularity with the pseudo-inverse.
+    """
+    x = np.asarray(x, dtype=float)
+    order = check_positive_int(order, "order")
+    if window < 2 * order:
+        raise ValidationError(
+            f"AR({order}) covariance fit needs windows of at least "
+            f"{2 * order} samples, got {window}"
+        )
+    num_windows = x.size - window + 1
+    if num_windows <= 0:
+        return np.empty(0, dtype=float)
+    designs, targets = sliding_ar_operands(x, window, order)
+    variances = np.lib.stride_tricks.sliding_window_view(x, window).var(axis=1)
+    try:
+        return normalized_errors_from_operands(designs, targets, variances, order)
+    except np.linalg.LinAlgError:
+        return np.asarray(
+            [
+                fit_ar_covariance(x[s : s + window], order).normalized_error
+                for s in range(num_windows)
+            ],
+            dtype=float,
+        )

@@ -17,6 +17,14 @@ time, built by sliding a window over the rating stream:
 All constructors return a :class:`Curve`: aligned arrays of evaluation
 times, evaluation indices (index into the underlying series), and
 statistic values.
+
+Every builder runs on the vectorized fast path: windows are evaluated in
+batched passes (grouped by window size where sizes shrink at the edges)
+instead of one Python-level statistic call per centre, while producing
+**bit-identical** values to the per-window formulation -- see
+:mod:`repro.signal.rolling` for how that guarantee is kept and
+``tests/property/test_incremental_curves.py`` for the exact-equality
+pinning against the retained naive references.
 """
 
 from __future__ import annotations
@@ -24,14 +32,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.errors import ValidationError
-from repro.signal.ar import fit_ar_covariance
-from repro.signal.clustering import two_cluster_split_1d
-from repro.signal.glrt import gaussian_mean_change_statistic
-from repro.signal.poisson import poisson_rate_change_statistic
+from repro.signal.ar import sliding_ar_normalized_errors
+from repro.signal.rolling import (
+    centered_half_widths,
+    mean_change_stats_equal_halves,
+    rate_change_stats_equal_halves,
+    two_cluster_balance,
+)
 from repro.utils.validation import check_positive, check_positive_int
-from repro.utils.windows import centered_windows
 
 __all__ = [
     "Curve",
@@ -39,7 +50,9 @@ __all__ = [
     "mean_change_curve_by_time",
     "arrival_rate_curve",
     "histogram_change_curve",
+    "histogram_change_curve_from_stats",
     "model_error_curve",
+    "model_error_curve_from_errors",
 ]
 
 
@@ -116,18 +129,13 @@ def mean_change_curve_by_count(
     half_width = check_positive_int(half_width, "half_width")
     if values.size < 2:
         return _empty_curve("MC")
-    centers, stats = [], []
-    for center, start, stop in centered_windows(values.size, half_width):
-        stats.append(
-            gaussian_mean_change_statistic(values[start:center], values[center:stop])
-        )
-        centers.append(center)
-    centers_arr = np.asarray(centers, dtype=int)
+    centers, halves = centered_half_widths(values.size, half_width)
+    stats = mean_change_stats_equal_halves(values, centers, halves)
     return Curve(
         kind="MC",
-        times=times[centers_arr],
-        indices=centers_arr,
-        values=np.asarray(stats, dtype=float),
+        times=times[centers],
+        indices=centers,
+        values=stats,
     )
 
 
@@ -140,6 +148,14 @@ def mean_change_curve_by_time(
     ``[t(k) - window_days/2, t(k))`` and ``[t(k), t(k) + window_days/2)``.
     Centres where either half is empty get statistic ``0`` (no evidence of
     change is obtainable there).
+
+    The halves at each centre are located with two ``searchsorted`` sweeps
+    (equivalent to the historical two-pointer scan); the half means are
+    then computed per distinct half length by gathering exactly the needed
+    windows into a row matrix and reducing row-wise (bit-equal to the
+    per-slice mean, same pairwise reduction), so the whole curve is built
+    without a per-centre Python loop and without touching windows no
+    centre asked for.
     """
     times = np.asarray(times, dtype=float)
     values = np.asarray(values, dtype=float)
@@ -148,22 +164,37 @@ def mean_change_curve_by_time(
     if n < 2:
         return _empty_curve("MC")
     half = window_days / 2.0
+    centers = np.arange(n)
+    lo = np.searchsorted(times, times - half, side="left")
+    hi = np.searchsorted(times, times + half, side="left")
+    first_len = centers - lo
+    second_len = hi - centers
+    valid = (first_len > 0) & (second_len > 0)
     stats = np.zeros(n, dtype=float)
-    # Two-pointer sweep: for each centre k find [lo, k) and [k, hi).
-    lo = 0
-    hi = 0
-    for k in range(n):
-        t = times[k]
-        while lo < n and times[lo] < t - half:
-            lo += 1
-        if hi < k:
-            hi = k
-        while hi < n and times[hi] < t + half:
-            hi += 1
-        first, second = values[lo:k], values[k:hi]
-        if first.size and second.size:
-            stats[k] = gaussian_mean_change_statistic(first, second)
-    return Curve(kind="MC", times=times.copy(), indices=np.arange(n), values=stats)
+    if valid.any():
+        first_mean = np.empty(n, dtype=float)
+        second_mean = np.empty(n, dtype=float)
+        for length in np.unique(first_len[valid]):
+            length = int(length)
+            sel = valid & (first_len == length)
+            starts = centers[sel] - length
+            first_mean[sel] = values[starts[:, None] + np.arange(length)].mean(
+                axis=1
+            )
+        for length in np.unique(second_len[valid]):
+            length = int(length)
+            sel = valid & (second_len == length)
+            starts = centers[sel]
+            second_mean[sel] = values[starts[:, None] + np.arange(length)].mean(
+                axis=1
+            )
+        n1 = first_len[valid]
+        n2 = second_len[valid]
+        diff = first_mean[valid] - second_mean[valid]
+        # Same expression tree as gaussian_mean_change_statistic.
+        coefficient = 2.0 * (n1 * n2) / (n1 + n2)
+        stats[valid] = coefficient * diff * diff
+    return Curve(kind="MC", times=times.copy(), indices=centers, values=stats)
 
 
 def arrival_rate_curve(
@@ -191,19 +222,40 @@ def arrival_rate_curve(
     half_width_days = check_positive_int(half_width_days, "half_width_days")
     if counts.size < 2:
         return _empty_curve(kind)
-    centers, stats = [], []
-    for center, start, stop in centered_windows(counts.size, half_width_days):
-        stats.append(
-            poisson_rate_change_statistic(
-                counts[start:center], counts[center:stop], total=total_llr
-            )
-        )
-        centers.append(center)
-    centers_arr = np.asarray(centers, dtype=int)
+    if np.any(counts < 0):
+        raise ValidationError("daily counts must be non-negative")
+    centers, halves = centered_half_widths(counts.size, half_width_days)
+    stats = rate_change_stats_equal_halves(counts, centers, halves, total_llr)
     return Curve(
         kind=kind,
-        times=days[centers_arr],
-        indices=centers_arr,
+        times=days[centers],
+        indices=centers,
+        values=stats,
+    )
+
+
+def _full_window_centers(n: int, window: int) -> np.ndarray:
+    """Centre indices of the length-``window`` sliding windows of a
+    length-``n`` series (window start + ``window // 2``)."""
+    return np.arange(0, n - window + 1) + window // 2
+
+
+def histogram_change_curve_from_stats(
+    times: np.ndarray, stats: np.ndarray, window_ratings: int
+) -> Curve:
+    """Assemble an HC :class:`Curve` from precomputed balance statistics.
+
+    ``stats[i]`` is the balance of the window starting at rating ``i``;
+    used by the per-stream builder below and by the joint detector's
+    cross-stream batch, which computes all streams' balances in one
+    clustering pass.
+    """
+    times = np.asarray(times, dtype=float)
+    centers = _full_window_centers(times.size, window_ratings)
+    return Curve(
+        kind="HC",
+        times=times[centers],
+        indices=centers,
         values=np.asarray(stats, dtype=float),
     )
 
@@ -227,23 +279,26 @@ def histogram_change_curve(
     n = values.size
     if n < window_ratings:
         return _empty_curve("HC")
-    centers, stats = [], []
-    for start in range(0, n - window_ratings + 1):
-        stop = start + window_ratings
-        labels = two_cluster_split_1d(values[start:stop])
-        n1 = int(np.sum(labels == 0))
-        n2 = int(np.sum(labels == 1))
-        if n1 == 0 or n2 == 0:
-            stats.append(0.0)
-        else:
-            stats.append(min(n1 / n2, n2 / n1))
-        centers.append(start + window_ratings // 2)
-    centers_arr = np.asarray(centers, dtype=int)
+    stats = two_cluster_balance(sliding_window_view(values, window_ratings))
+    return histogram_change_curve_from_stats(times, stats, window_ratings)
+
+
+def model_error_curve_from_errors(
+    times: np.ndarray, errors: np.ndarray, window_ratings: int
+) -> Curve:
+    """Assemble an ME :class:`Curve` from precomputed normalized errors.
+
+    ``errors[i]`` belongs to the window starting at rating ``i``; the
+    joint detector's cross-stream batch solves every stream's AR normal
+    equations in one pass and hands the per-stream error slices here.
+    """
+    times = np.asarray(times, dtype=float)
+    centers = _full_window_centers(times.size, window_ratings)
     return Curve(
-        kind="HC",
-        times=times[centers_arr],
-        indices=centers_arr,
-        values=np.asarray(stats, dtype=float),
+        kind="ME",
+        times=times[centers],
+        indices=centers,
+        values=np.asarray(errors, dtype=float),
     )
 
 
@@ -263,19 +318,7 @@ def model_error_curve(
         raise ValidationError(
             f"window_ratings={window_ratings} too small for AR({order}) covariance fit"
         )
-    n = values.size
-    if n < window_ratings:
+    if values.size < window_ratings:
         return _empty_curve("ME")
-    centers, stats = [], []
-    for start in range(0, n - window_ratings + 1):
-        stop = start + window_ratings
-        fit = fit_ar_covariance(values[start:stop], order)
-        stats.append(fit.normalized_error)
-        centers.append(start + window_ratings // 2)
-    centers_arr = np.asarray(centers, dtype=int)
-    return Curve(
-        kind="ME",
-        times=times[centers_arr],
-        indices=centers_arr,
-        values=np.asarray(stats, dtype=float),
-    )
+    errors = sliding_ar_normalized_errors(values, window_ratings, order)
+    return model_error_curve_from_errors(times, errors, window_ratings)
