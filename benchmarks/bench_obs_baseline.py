@@ -10,6 +10,12 @@ profiler overhead ratio (instrumented+profiled over instrumented) to
 trajectory: future PRs compare their stage timings and cache hit rates
 against it.
 
+A fourth pass measures the time-series recording path: the online
+challenge replay (epoch closes snapshotting the registry, streaming
+JSONL, evaluating the default alert ruleset) against the same replay
+with no recorder attached -- ``series_overhead_ratio`` in the payload,
+asserted < 1.05 by the slow-marked benchmark test.
+
 Population size defaults to 30 (a quick pass); set ``REPRO_POPULATION``
 to 251 for the full paper-scale run, matching the pytest benches.
 
@@ -23,13 +29,21 @@ Usage::
 import json
 import os
 import sys
+import tempfile
 import time
 from pathlib import Path
 
+from repro.aggregation import PScheme
 from repro.experiments import ExperimentContext, run_headline_comparison
+from repro.marketplace.challenge import RatingChallenge
 from repro.obs import (
+    DEFAULT_RULES_PATH,
+    AlertEngine,
     MetricsRegistry,
+    MetricsStreamWriter,
     SpanProfiler,
+    TimeSeriesRecorder,
+    load_rules,
     registry_to_dict,
     use_registry,
 )
@@ -51,6 +65,67 @@ def _run(population: int, registry=None, profile: bool = False) -> float:
     return time.perf_counter() - start
 
 
+def _replay_once(challenge, with_series: bool) -> float:
+    """One online replay under a collecting registry; wall seconds.
+
+    ``with_series`` attaches the full recording stack an operator would
+    run: per-epoch snapshots, a JSONL stream sink, and the default
+    alert ruleset.
+    """
+    registry = MetricsRegistry()
+    recorder = sink = None
+    if with_series:
+        handle = tempfile.NamedTemporaryFile(
+            suffix=".jsonl", delete=False
+        )
+        handle.close()
+        sink = MetricsStreamWriter(handle.name)
+        recorder = TimeSeriesRecorder(
+            sink=sink,
+            engine=AlertEngine(load_rules(DEFAULT_RULES_PATH)),
+        )
+        registry.attach_series(recorder)
+    start = time.perf_counter()
+    challenge.replay_online(PScheme(), registry=registry)
+    elapsed = time.perf_counter() - start
+    if sink is not None:
+        sink.close()
+        os.unlink(sink.path)
+    return elapsed
+
+
+def measure_series_overhead(repeats: int = 5) -> dict:
+    """Best-of-``repeats`` online-replay timings with and without the
+    series recorder; the ratio is what ``--metrics-stream`` costs.
+
+    The two variants run *interleaved* (plain, series, plain, series,
+    ...) so slow machine-load drift hits both equally instead of
+    biasing whichever variant ran last, and each timed sample sums two
+    back-to-back replays so scheduler jitter averages out: the true
+    recording cost is microseconds per epoch, far below the run-to-run
+    noise of a single ~0.25s replay.
+    """
+    challenge = RatingChallenge(seed=2008)
+    _replay_once(challenge, False)  # warm caches outside the timings
+    _replay_once(challenge, True)
+    plain_times = []
+    recorded_times = []
+    for _ in range(repeats):
+        plain_times.append(
+            _replay_once(challenge, False) + _replay_once(challenge, False)
+        )
+        recorded_times.append(
+            _replay_once(challenge, True) + _replay_once(challenge, True)
+        )
+    plain = min(plain_times)
+    recorded = min(recorded_times)
+    return {
+        "replay_seconds": plain,
+        "replay_with_series_seconds": recorded,
+        "series_overhead_ratio": recorded / plain if plain else None,
+    }
+
+
 def main() -> int:
     out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_OUT
     population = int(os.environ.get("REPRO_POPULATION", "30"))
@@ -65,6 +140,9 @@ def main() -> int:
     profiled_registry = MetricsRegistry()
     profiled_seconds = _run(population, registry=profiled_registry,
                             profile=True)
+
+    # Pass 4: the online replay with and without series recording.
+    series = measure_series_overhead()
 
     payload = {
         "benchmark": "headline_mp_comparison",
@@ -82,6 +160,7 @@ def main() -> int:
         "profile_attributed_fraction": attributed_fraction(
             profiled_registry.profile
         ),
+        **series,
         "metrics": registry_to_dict(registry),
     }
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
@@ -93,6 +172,9 @@ def main() -> int:
     print(f"profiled      : {profiled_seconds:.2f}s "
           f"(x{payload['profiler_overhead_ratio']:.3f} over instrumented, "
           f"{payload['profile_attributed_fraction']:.1%} attributed)")
+    print(f"online replay : {series['replay_seconds']:.2f}s plain, "
+          f"{series['replay_with_series_seconds']:.2f}s with series "
+          f"(x{series['series_overhead_ratio']:.3f})")
     hits = counters.get("pscheme.report_cache.hits", 0)
     misses = counters.get("pscheme.report_cache.misses", 0)
     total = hits + misses

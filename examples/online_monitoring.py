@@ -12,6 +12,16 @@ campaign through the system: the assumption drift monitors
 (:mod:`repro.obs.drift`) flag the epoch where the fair-traffic regime
 broke, and the whole run is rendered into a self-contained HTML report.
 
+Finally the same burst replays with the live-telemetry stack attached:
+every epoch close snapshots the registry into ring-buffered time series
+(:mod:`repro.obs.series`), streams one JSONL line to
+``online_monitoring_stream.jsonl``, and evaluates the default alert
+ruleset (:mod:`repro.obs.alerts`) -- which stays silent on the fair
+world and fires on the burst epoch, reporting detection latency in
+epochs.  Watch the stream afterwards with::
+
+    repro-rating monitor online_monitoring_stream.jsonl --once
+
 Run with::
 
     python examples/online_monitoring.py [seed]
@@ -24,7 +34,17 @@ from repro import PScheme, RatingChallenge, SimpleAveragingScheme
 from repro.analysis.reporting import format_table
 from repro.attacks import AttackGenerator, AttackSpec, ProductTarget
 from repro.attacks.time_models import ConcentratedBurst, UniformWindow
-from repro.obs import MetricsRegistry, report_from_registry, use_registry, write_report
+from repro.obs import (
+    DEFAULT_RULES_PATH,
+    AlertEngine,
+    MetricsRegistry,
+    MetricsStreamWriter,
+    TimeSeriesRecorder,
+    load_rules,
+    report_from_registry,
+    use_registry,
+    write_report,
+)
 from repro.online import OnlineRatingSystem
 from repro.types import RatingDataset
 
@@ -173,6 +193,56 @@ def drift_scenario(challenge, history, live, seed: int) -> None:
     print(
         f"self-contained report written to {out} "
         f"({len(data.drift_warnings)} drift warning(s) rendered)"
+    )
+
+    alerting_scenario(challenge, seed)
+
+
+def alerting_scenario(challenge, seed: int) -> None:
+    """The burst again, watched live by the default alert ruleset."""
+    print("\n--- Live alerting: default ruleset over the metrics stream ---")
+    generator = AttackGenerator(
+        challenge.fair_dataset, challenge.config.biased_rater_ids(),
+        seed=seed + 100,
+    )
+    burst = generator.generate(
+        [ProductTarget("tv1", +1)],
+        AttackSpec(3.0, 0.3, 50, ConcentratedBurst(center=45.0, width=0.5)),
+        submission_id="burst_campaign",
+    )
+
+    def replay(submission):
+        """One online replay with series + alerts attached; the engine."""
+        registry = MetricsRegistry()
+        engine = AlertEngine(
+            load_rules(DEFAULT_RULES_PATH), registry=registry
+        )
+        sink = MetricsStreamWriter("online_monitoring_stream.jsonl")
+        recorder = TimeSeriesRecorder(sink=sink, engine=engine)
+        registry.attach_series(recorder)
+        challenge.replay_online(
+            PScheme(), submission=submission, registry=registry
+        )
+        sink.close()
+        return engine
+
+    fair_engine = replay(None)
+    print(
+        f"fair world : {len(fair_engine.events)} alert event(s) "
+        "(the ruleset must stay silent here)"
+    )
+    burst_engine = replay(burst)
+    for event in burst_engine.events:
+        print(
+            f"burst world: [{event.state.upper():8s}] {event.rule} "
+            f"at epoch {event.epoch} "
+            f"(latency {event.latency_epochs} epoch(s), "
+            f"value {event.value:g})"
+        )
+    print(
+        "\nmetrics stream written to online_monitoring_stream.jsonl --"
+        "\nreplay it with: repro-rating monitor "
+        "online_monitoring_stream.jsonl --once"
     )
 
 

@@ -27,7 +27,15 @@ fingerprint, metrics, timings, result digests, environment -- to a
 persistent JSONL ledger), and ``--profile-out PATH`` (sample the
 invocation with the span-attributed wall-clock profiler at
 ``--profile-hz`` samples/second; ``--profile-mem`` adds
-tracemalloc-backed per-span allocation telemetry).  The scaling globals ``--workers N`` and
+tracemalloc-backed per-span allocation telemetry).  Time-series
+telemetry rides on three more globals: ``--metrics-stream PATH``
+streams one flattened metrics snapshot per epoch close as JSONL
+(tailable live with ``repro-rating monitor PATH``),
+``--alert-rules PATH`` evaluates a declarative alert ruleset
+(threshold / rate-of-change / burn-rate conditions, TOML or JSON;
+default: the packaged ruleset) at each epoch close, and
+``--openmetrics-out PATH`` writes the final registry in OpenMetrics /
+Prometheus text exposition format.  The scaling globals ``--workers N`` and
 ``--cache-dir DIR`` route ``population``/``search``/``sensitivity``
 through the :mod:`repro.exec` engine: evaluations fan out over ``N``
 processes (bit-identical to serial, and since the telemetry-capsule
@@ -40,9 +48,14 @@ and summarizes an exported trace, ``profile FILE`` summarizes a
 re-exports it as speedscope JSON, collapsed stacks, or a Perfetto
 profiler lane, and ``runs list|show|diff|check`` reads a ledger -- ``runs check`` compares the latest run against a rolling
 baseline of comparable runs and exits 1 when result digests, stable
-metrics, or wall-clock regressed beyond the configured thresholds, and
+metrics, wall-clock, or the alert state regressed beyond the
+configured thresholds (``--allow-alerts`` waives the alert check), and
 3 when no comparable baseline exists (nothing was checked -- distinct
-from "checked and clean").
+from "checked and clean").  ``monitor FILE`` tails a
+``--metrics-stream`` file and renders terminal sparklines plus the
+live alert board (``--once`` renders a single frame for scripts and
+CI), and ``alerts`` validates and lists alert-rule files
+(``--check`` for exit-status-only validation).
 
 Detection quality closes the last gap: ``report --out FILE`` runs a
 seeded challenge scenario end to end and writes a single self-contained
@@ -69,7 +82,7 @@ import argparse
 import json
 import os
 import sys
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import Optional, Sequence
 
 import numpy as np
@@ -92,9 +105,17 @@ from repro.marketplace.io import (
     save_submission_json,
 )
 from repro.obs import (
+    DEFAULT_RULES_PATH,
+    AlertEngine,
     MetricsRegistry,
+    MetricsStreamWriter,
+    TimeSeriesRecorder,
     ledger as run_ledger,
+    load_rules,
     profile as obs_profile,
+    render_frame,
+    render_openmetrics,
+    replay_stream,
     report_from_registry,
     set_registry,
     setup_logging,
@@ -183,6 +204,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --profile-out: also record tracemalloc-backed per-span "
              "allocation deltas and peak watermarks (mem.* metrics; "
              "noticeably more overhead than sampling alone)",
+    )
+    common.add_argument(
+        "--metrics-stream", default=None, metavar="PATH",
+        help="stream one flattened metrics snapshot per epoch close to "
+             "PATH as JSONL; tail it live with 'repro-rating monitor "
+             "PATH' (commands without epochs write one closing snapshot)",
+    )
+    common.add_argument(
+        "--alert-rules", default=None, metavar="PATH",
+        help="alert-rule file (TOML or JSON) evaluated at each epoch "
+             "close; implies series recording (default ruleset: the "
+             "packaged drift/quality rules; validate files with "
+             "'repro-rating alerts --check')",
+    )
+    common.add_argument(
+        "--openmetrics-out", default=None, metavar="PATH",
+        help="write the invocation's final registry in OpenMetrics / "
+             "Prometheus text exposition format to PATH",
     )
     common.add_argument(
         "--workers", type=int, default=0, metavar="N",
@@ -377,6 +416,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalog and exit",
     )
 
+    monitor = add_parser(
+        "monitor", help="tail a --metrics-stream file: sparklines + alerts"
+    )
+    monitor.add_argument(
+        "stream_file", help="a JSONL file written by --metrics-stream"
+    )
+    monitor.add_argument(
+        "--once", action="store_true",
+        help="render one frame from the full file and exit "
+             "(for scripts and CI; default: follow the file live)",
+    )
+    monitor.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="poll interval in follow mode (default 2.0)",
+    )
+    monitor.add_argument(
+        "--top", type=int, default=16, metavar="N",
+        help="series rows rendered per frame (default 16)",
+    )
+    monitor.add_argument(
+        "--width", type=int, default=32, metavar="N",
+        help="sparkline width in cells (default 32)",
+    )
+    monitor.add_argument(
+        "--select", action="append", default=None, metavar="SUBSTR",
+        help="only render series whose name contains SUBSTR (repeatable)",
+    )
+
+    alerts = add_parser(
+        "alerts", help="validate and list alert-rule files"
+    )
+    alerts.add_argument(
+        "rule_files", nargs="*", metavar="PATH",
+        help="rule files to inspect (default: the packaged ruleset)",
+    )
+    alerts.add_argument(
+        "--check", action="store_true",
+        help="validate only (no rule listing); exit 1 on any invalid file",
+    )
+
     runs = add_parser(
         "runs", help="inspect the run ledger (list/show/diff/check)"
     )
@@ -411,6 +490,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--digest-tolerance", type=float, default=0.0,
         help="'check' flags result digests moving beyond this absolute "
              "tolerance (default 0 = exact)",
+    )
+    runs.add_argument(
+        "--allow-alerts", action="store_true",
+        help="'check' does not flag newly-firing alerts against an "
+             "alert-free baseline (use when the alerts are expected)",
     )
 
     return parser
@@ -788,11 +872,17 @@ def _cmd_report(args) -> int:
         monitor.calibrate(challenge.fair_dataset)
         drift_warnings = []
         window_start = challenge.start_day
-        for edge in epoch_times:
+        # With --metrics-stream/--alert-rules a series recorder rides on
+        # the registry: snapshot it per drift epoch so the stream (and
+        # the alert engine) sees a genuine multi-epoch trajectory.
+        recorder = getattr(registry, "series", None)
+        for epoch_index, edge in enumerate(epoch_times):
             drift_warnings.extend(
                 monitor.check_epoch(attacked, window_start, edge)
             )
             window_start = edge
+            if recorder is not None:
+                recorder.record_epoch(epoch_index, registry)
 
         ledger_rows = [
             (
@@ -938,6 +1028,99 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _ingest_stream_line(recorder, line: str) -> None:
+    """Fold one metrics-stream JSONL line into ``recorder``.
+
+    Mirrors :func:`repro.obs.series.read_metrics_stream`: a malformed
+    line (the partial tail of a live writer) is skipped, not fatal.
+    """
+    line = line.strip()
+    if not line:
+        return
+    try:
+        payload = json.loads(line)
+        epoch = int(payload["epoch"])
+        metrics = {str(k): float(v) for k, v in payload["metrics"].items()}
+    except (ValueError, KeyError, TypeError, AttributeError):
+        return
+    recorder.ingest_snapshot(epoch, metrics)
+
+
+def _cmd_monitor(args) -> int:
+    engine = AlertEngine(load_rules(args.alert_rules or DEFAULT_RULES_PATH))
+    select = tuple(args.select or ())
+    title = os.path.basename(args.stream_file)
+    if args.once:
+        recorder, _ = replay_stream(args.stream_file, engine=engine)
+        sys.stdout.write(
+            render_frame(
+                recorder, engine=engine, select=select,
+                top=args.top, width=args.width, title=title,
+            )
+        )
+        return 0
+    # Follow mode: poll the file for complete new lines, fold each into
+    # the recorder (driving the alert engine exactly like the producing
+    # run), and redraw the frame.  Ctrl-C exits cleanly.
+    recorder = TimeSeriesRecorder(engine=engine)
+    position = 0
+    pending = ""
+    try:
+        while True:
+            if os.path.exists(args.stream_file):
+                with open(args.stream_file, "r", encoding="utf-8") as handle:
+                    handle.seek(position)
+                    pending += handle.read()
+                    position = handle.tell()
+                lines = pending.split("\n")
+                pending = lines.pop()  # keep any partial tail for later
+                for line in lines:
+                    _ingest_stream_line(recorder, line)
+            frame = render_frame(
+                recorder, engine=engine, select=select,
+                top=args.top, width=args.width, title=title,
+            )
+            sys.stdout.write("\x1b[2J\x1b[H" + frame)
+            sys.stdout.flush()
+            sleep(max(args.interval, 0.05))
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_alerts(args) -> int:
+    paths = args.rule_files or [str(DEFAULT_RULES_PATH)]
+    status = 0
+    for path in paths:
+        try:
+            rules = load_rules(path)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        print(f"{path}: {len(rules)} rule(s) OK")
+        if args.check:
+            continue
+        rows = [
+            (
+                rule.name,
+                rule.kind,
+                rule.metric,
+                f"{rule.op} {rule.value:g}",
+                f"{rule.for_epochs}/{rule.resolve_epochs}",
+                rule.severity,
+            )
+            for rule in rules
+        ]
+        print(
+            format_table(
+                ["rule", "kind", "metric", "condition",
+                 "for/resolve", "severity"],
+                rows,
+            )
+        )
+    return status
+
+
 def _runs_ledger_path(args) -> str:
     """The ledger a ``runs`` invocation should read."""
     if args.ledger:
@@ -983,6 +1166,7 @@ def _cmd_runs(args) -> int:
         max_timing_ratio=args.max_timing_ratio,
         metric_tolerance=args.metric_tolerance,
         digest_tolerance=args.digest_tolerance,
+        allow_alerts=args.allow_alerts,
     )
     print(report.to_text())
     if not report.ok:
@@ -1004,11 +1188,15 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
+    "monitor": _cmd_monitor,
+    "alerts": _cmd_alerts,
     "runs": _cmd_runs,
 }
 
 #: Inspection commands never record telemetry about themselves.
-_INSPECTION_COMMANDS = frozenset({"lint", "trace", "profile", "runs"})
+_INSPECTION_COMMANDS = frozenset(
+    {"lint", "trace", "profile", "monitor", "alerts", "runs"}
+)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -1018,13 +1206,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     setup_logging(args.log_level)
     recording = args.command not in _INSPECTION_COMMANDS
     registry = previous = capture = profiler = None
+    recorder = stream_sink = None
     if recording and (
         args.metrics_out or args.trace_out or args.ledger or args.report_out
-        or args.profile_out
+        or args.profile_out or args.metrics_stream or args.alert_rules
+        or args.openmetrics_out
     ):
         # Collect this invocation's pipeline telemetry and persist it.
         registry = MetricsRegistry()
         previous = set_registry(registry)
+        if args.metrics_stream or args.alert_rules:
+            # Series recording: epoch closes (online system, report's
+            # drift loop) snapshot the registry; each snapshot streams
+            # to the sink and drives the alert engine.
+            try:
+                rules = load_rules(args.alert_rules or DEFAULT_RULES_PATH)
+            except ReproError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                set_registry(previous)
+                return 2
+            try:
+                stream_sink = (
+                    MetricsStreamWriter(args.metrics_stream)
+                    if args.metrics_stream else None
+                )
+            except OSError as exc:
+                print(
+                    f"error: cannot open metrics stream: {exc}",
+                    file=sys.stderr,
+                )
+                set_registry(previous)
+                return 2
+            recorder = TimeSeriesRecorder(
+                sink=stream_sink,
+                engine=AlertEngine(rules, registry=registry),
+            )
+            registry.attach_series(recorder)
         if args.ledger:
             capture = run_ledger.begin_run_capture()
         if args.profile_out:
@@ -1057,6 +1274,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             run_ledger.end_run_capture()
     if registry is None:
         return status
+    if recorder is not None:
+        if recorder.empty:
+            # Commands with no epoch structure still stream one closing
+            # summary snapshot (and one alert evaluation) at epoch 0.
+            recorder.record_epoch(0, registry)
+        if stream_sink is not None:
+            stream_sink.close()
+            print(
+                f"metrics stream written to {args.metrics_stream} "
+                f"({stream_sink.lines_written} snapshots)",
+                file=sys.stderr,
+            )
+        firing = recorder.engine.firing() if recorder.engine else []
+        if firing:
+            print(
+                f"alerts firing at exit: {', '.join(firing)}",
+                file=sys.stderr,
+            )
+    if args.openmetrics_out:
+        try:
+            with open(args.openmetrics_out, "w", encoding="utf-8") as handle:
+                handle.write(render_openmetrics(registry))
+            print(
+                f"openmetrics written to {args.openmetrics_out}",
+                file=sys.stderr,
+            )
+        except OSError as exc:
+            print(f"error: cannot write openmetrics: {exc}", file=sys.stderr)
+            status = status or 2
     if args.metrics_out:
         try:
             write_json(registry, args.metrics_out)

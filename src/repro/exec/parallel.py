@@ -38,6 +38,7 @@ from repro.obs import get_logger
 from repro.obs.capsule import TelemetryCapsule
 from repro.obs.profile import maybe_task_profiler
 from repro.obs.registry import MetricsRegistry, get_registry, use_registry
+from repro.obs.series import TimeSeriesRecorder
 from repro.obs.spans import fresh_span_stack, span
 
 __all__ = ["ParallelEvaluator"]
@@ -73,6 +74,11 @@ def _run_task_timed(
             return None, perf_counter() - start, f"{type(exc).__name__}: {exc}", None
         return value, perf_counter() - start, None, None
     local = MetricsRegistry()
+    # A task that closes epochs (e.g. an online replay) records series
+    # into its local recorder; the points ride home in the capsule and
+    # union into the parent's recorder.  Tasks that never snapshot leave
+    # the recorder empty, and empty recorders are not shipped.
+    local.attach_series(TimeSeriesRecorder())
     value, error = None, None
     start = perf_counter()
     with fresh_span_stack(), use_registry(local), hermetic_schemes(hermetic):

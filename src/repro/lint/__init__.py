@@ -15,6 +15,7 @@ rule id                   invariant
 ``metric-stale``          catalogued metric names are still emitted
 ``span-balance``          spans open only via ``with span(...)``
 ``unordered-iter``        no salted-order iteration near fingerprints
+``alert-unknown-metric``  alert-rule files watch catalogued metrics
 ========================  ============================================
 
 Run as ``python -m repro.lint [paths...]`` or ``repro-rating lint``;
@@ -40,6 +41,7 @@ from repro.lint.core import (
     baseline_payload,
     run_lint,
 )
+from repro.lint.rules_alerts import AlertRuleMetricRule
 from repro.lint.rules_metrics import MetricCatalogRule, MetricStaleRule, SpanBalanceRule
 from repro.lint.rules_order import UnorderedIterRule
 from repro.lint.rules_pickle import PickleSafetyRule
@@ -60,6 +62,8 @@ __all__ = [
 
 DEFAULT_BASELINE = ".repro-lint-baseline.json"
 DEFAULT_CATALOGS = ("docs/API.md", "docs/OBSERVABILITY.md")
+#: Where committed alert-rule files live (relative to the repo root).
+DEFAULT_ALERT_RULE_DIRS = ("src/repro/obs/alert_rules",)
 
 
 def default_rules(config: LintConfig) -> List[Rule]:
@@ -74,6 +78,7 @@ def default_rules(config: LintConfig) -> List[Rule]:
         MetricStaleRule(config.catalog_paths),
         SpanBalanceRule(),
         UnorderedIterRule(),
+        AlertRuleMetricRule(config.catalog_paths, config.alert_rule_paths),
     ]
 
 
@@ -117,6 +122,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
              "docs/API.md docs/OBSERVABILITY.md when present)",
     )
     parser.add_argument(
+        "--alert-rules", metavar="PATH", action="append", default=None,
+        help="alert-rule file checked for catalog parity (repeatable; "
+             "default: every file under src/repro/obs/alert_rules)",
+    )
+    parser.add_argument(
         "--no-stale", action="store_true",
         help="skip the metric-stale direction (use when linting a subset "
              "of the tree, where 'nothing emits X' is vacuous)",
@@ -138,6 +148,19 @@ def _default_paths() -> List[str]:
 
 def _default_catalogs() -> List[str]:
     return [path for path in DEFAULT_CATALOGS if Path(path).exists()]
+
+
+def _default_alert_rules() -> List[str]:
+    out: List[str] = []
+    for raw in DEFAULT_ALERT_RULE_DIRS:
+        directory = Path(raw)
+        if directory.is_dir():
+            out.extend(
+                p.as_posix()
+                for p in sorted(directory.iterdir())
+                if p.suffix.lower() in (".toml", ".json")
+            )
+    return out
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -163,6 +186,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         baseline_path=baseline,
         catalog_paths=(
             args.catalog if args.catalog is not None else _default_catalogs()
+        ),
+        alert_rule_paths=(
+            args.alert_rules
+            if args.alert_rules is not None
+            else _default_alert_rules()
         ),
         stale_check=not args.no_stale,
     )

@@ -188,6 +188,8 @@ class LintConfig:
     baseline_path: Optional[str] = None
     #: Markdown files holding the metric-name catalog tables.
     catalog_paths: Sequence[str] = ()
+    #: Alert-rule files (TOML/JSON) whose metrics must be catalogued.
+    alert_rule_paths: Sequence[str] = ()
     #: Whether to report catalog entries no code emits (disable when
     #: linting a partial tree, where "nothing emits X" is vacuous).
     stale_check: bool = True

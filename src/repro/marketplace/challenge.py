@@ -24,7 +24,7 @@ from repro.errors import ChallengeRuleError, ValidationError
 from repro.marketplace.fair_ratings import FairRatingConfig, FairRatingGenerator
 from repro.marketplace.mp import MPResult, manipulation_power
 from repro.marketplace.product import Product, default_tv_lineup
-from repro.types import DEFAULT_SCALE, RatingDataset, RatingScale
+from repro.types import DEFAULT_SCALE, RatingDataset, RatingScale, RatingStream
 from repro.utils.rng import SeedLike
 
 __all__ = ["ChallengeConfig", "RatingChallenge", "LeaderboardEntry"]
@@ -205,6 +205,66 @@ class RatingChallenge:
             start_day=self.start_day,
             end_day=self.end_day,
         )
+
+    def replay_online(
+        self,
+        scheme,
+        submission: Optional[AttackSubmission] = None,
+        validate: bool = True,
+        registry=None,
+        monitor_drift: bool = True,
+        series_recorder=None,
+    ):
+        """Stream the challenge world through an online rating system.
+
+        The (optionally attacked) dataset splits at :attr:`start_day`:
+        everything earlier seeds the system as pre-challenge history
+        (calibrating the drift monitor), everything later is submitted in
+        timestamp order, and every epoch that fits *completely* inside
+        the challenge window is closed.  A trailing partial window stays
+        accumulating: checking drift over a window the data only partly
+        covers zero-pads the daily arrival counts, which systematically
+        inflates the dispersion statistic and false-alarms on fair
+        worlds.  Returns the :class:`~repro.online.system.
+        OnlineRatingSystem` with its epoch reports -- the operational
+        (drift/alert) view of the same world the batch evaluator scores.
+        """
+        from repro.online.system import OnlineRatingSystem
+
+        if submission is not None and validate:
+            self.validate(submission)
+        dataset = (
+            self.attacked_dataset(submission)
+            if submission is not None
+            else self.fair_dataset
+        )
+        history: List = []
+        live: List = []
+        for stream in dataset.streams():
+            for rating in stream:
+                (history if rating.time < self.start_day else live).append(rating)
+        history_streams = {}
+        for rating in history:
+            history_streams.setdefault(rating.product_id, []).append(rating)
+        history_dataset = RatingDataset(
+            [
+                RatingStream.from_ratings(product_id, ratings)
+                for product_id, ratings in history_streams.items()
+            ]
+        )
+        system = OnlineRatingSystem(
+            scheme,
+            start_day=self.start_day,
+            period_days=self.config.period_days,
+            history=history_dataset if history else None,
+            registry=registry,
+            monitor_drift=monitor_drift,
+            series_recorder=series_recorder,
+        )
+        system.submit_many(sorted(live))
+        while system.current_epoch_end <= self.end_day:
+            system.close_epoch()
+        return system
 
     def leaderboard(
         self,

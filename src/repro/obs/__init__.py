@@ -36,6 +36,15 @@ this package:
 - :func:`render_html` / :func:`write_report` -- the self-contained
   HTML/Markdown run-report generator (inline SVG sparklines, zero
   external assets).
+- :class:`TimeSeriesRecorder` -- per-epoch snapshots of the registry
+  into ring-buffered metric series (epoch index as the time axis), with
+  a JSONL streaming sink (``--metrics-stream``) and an OpenMetrics
+  text-exposition writer (:mod:`repro.obs.series`).
+- :class:`AlertRule` / :class:`AlertEngine` -- declarative alert
+  conditions (threshold, rate-of-change, burn-rate) over recorded
+  series, evaluated at epoch close with firing/resolved hysteresis
+  (:mod:`repro.obs.alerts`); ``repro monitor`` renders the live view
+  (:mod:`repro.obs.monitor`).
 
 Quickstart::
 
@@ -48,6 +57,13 @@ Quickstart::
     write_json(registry, "metrics.json")
 """
 
+from repro.obs.alerts import (
+    DEFAULT_RULES_PATH,
+    AlertEngine,
+    AlertEvent,
+    AlertRule,
+    load_rules,
+)
 from repro.obs.capsule import TelemetryCapsule
 from repro.obs.export import format_metrics, registry_to_dict, write_json
 from repro.obs.ledger import (
@@ -86,6 +102,16 @@ from repro.obs.profile import (
     write_profile,
     write_speedscope,
 )
+from repro.obs.series import (
+    DEFAULT_SERIES_IGNORE,
+    MetricsStreamWriter,
+    TimeSeriesRecorder,
+    flatten_registry,
+    parse_openmetrics,
+    read_metrics_stream,
+    render_openmetrics,
+)
+from repro.obs.monitor import render_frame, replay_stream, sparkline
 from repro.obs.spans import (
     SpanRecord,
     current_span_path,
@@ -183,4 +209,19 @@ __all__ = [
     "svg_roc",
     "svg_sparkline",
     "write_report",
+    "DEFAULT_RULES_PATH",
+    "DEFAULT_SERIES_IGNORE",
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
+    "MetricsStreamWriter",
+    "TimeSeriesRecorder",
+    "flatten_registry",
+    "load_rules",
+    "parse_openmetrics",
+    "read_metrics_stream",
+    "render_frame",
+    "render_openmetrics",
+    "replay_stream",
+    "sparkline",
 ]

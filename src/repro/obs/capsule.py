@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.obs.profile import reparent_profile_key
 from repro.obs.registry import MetricsRegistry
@@ -45,17 +45,26 @@ class TelemetryCapsule:
     histograms: Dict[str, HistogramState] = field(default_factory=dict)
     spans: List[SpanRecord] = field(default_factory=list)
     profile: Dict[str, float] = field(default_factory=dict)
+    #: Attached recorder state (:meth:`TimeSeriesRecorder.state`), or
+    #: None when the source registry recorded no series points.
+    series: Optional[Dict[str, object]] = None
     pid: int = 0
 
     @classmethod
     def capture(cls, registry: MetricsRegistry) -> "TelemetryCapsule":
         """Snapshot everything ``registry`` collected, stamped with our pid."""
+        recorder = registry.series
         return cls(
             counters={k: v.value for k, v in registry.counters.items()},
             gauges={k: v.value for k, v in registry.gauges.items()},
             histograms={k: v.state() for k, v in registry.histograms.items()},
             spans=list(registry.spans),
             profile=dict(registry.profile),
+            series=(
+                recorder.state()
+                if recorder is not None and not recorder.empty
+                else None
+            ),
             pid=os.getpid(),
         )
 
@@ -68,6 +77,7 @@ class TelemetryCapsule:
             or self.histograms
             or self.spans
             or self.profile
+            or self.series
         )
 
     def merge_into(
@@ -86,6 +96,10 @@ class TelemetryCapsule:
         """
         if not registry.enabled:
             return
+        if self.series and registry.series is not None:
+            # Series points union by epoch (max on conflict), so folding
+            # worker capsules in any order yields identical series.
+            registry.series.merge_state(self.series)
         for name, value in self.counters.items():
             if value:
                 registry.counter(name).inc(value)

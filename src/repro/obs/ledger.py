@@ -192,7 +192,17 @@ class RunRecord:
     metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
     timings: Dict[str, float] = field(default_factory=dict)
     env: Dict[str, object] = field(default_factory=dict)
+    #: Alert events (``AlertEvent.as_dict()`` payloads) the run produced.
+    alerts: List[Dict[str, object]] = field(default_factory=list)
     schema: int = SCHEMA_VERSION
+
+    def firing_alerts(self) -> List[Dict[str, object]]:
+        """The subset of alert events that are ``firing`` transitions."""
+        return [
+            event
+            for event in self.alerts
+            if isinstance(event, dict) and event.get("state") == "firing"
+        ]
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -259,6 +269,16 @@ def build_record(
             ordered = sorted(self_times[path])
             timings[f"self.{path}.p50"] = _percentile(ordered, 50.0)
             timings[f"self.{path}.p90"] = _percentile(ordered, 90.0)
+    # Alert events ride on the record so ``runs check`` can gate on a
+    # run that newly started alerting; the recorder (and its engine)
+    # hang off the registry when the CLI wired them up.
+    recorder = getattr(registry, "series", None)
+    engine = getattr(recorder, "engine", None) if recorder is not None else None
+    alerts = (
+        [event.as_dict() for event in engine.events]
+        if engine is not None
+        else []
+    )
     identity = hashlib.blake2b(
         json.dumps(
             [timestamp, list(argv), command], sort_keys=True
@@ -283,6 +303,7 @@ def build_record(
         },
         timings=timings,
         env=runtime_environment(),
+        alerts=alerts,
     )
 
 
@@ -397,7 +418,7 @@ def diff_records(a: RunRecord, b: RunRecord) -> List[str]:
 class RegressionFinding:
     """One flagged discrepancy between the latest run and its baseline."""
 
-    kind: str  # "result-digest" | "metric" | "timing" | "status"
+    kind: str  # "result-digest" | "metric" | "timing" | "status" | "alert"
     name: str
     latest: float
     baseline: float
@@ -467,6 +488,7 @@ def check_ledger(
     metric_tolerance: float = 0.0,
     digest_tolerance: float = 0.0,
     ignore_prefixes: Tuple[str, ...] = DEFAULT_IGNORE_PREFIXES,
+    allow_alerts: bool = False,
 ) -> CheckReport:
     """Compare the latest run against a rolling baseline of earlier runs.
 
@@ -479,7 +501,10 @@ def check_ledger(
     - **metric**: a counter moved beyond ``metric_tolerance`` (relative to
       the baseline median) -- namespaces in ``ignore_prefixes`` are skipped;
     - **timing**: wall-clock exceeded ``max_timing_ratio`` x the baseline
-      median.
+      median;
+    - **alert**: the latest run produced firing alert events while every
+      baseline run produced none (suppressed by ``allow_alerts`` -- the
+      escape hatch for runs *expected* to alert, e.g. attack scenarios).
     """
     records = list(ledger.records())
     if not records:
@@ -565,6 +590,29 @@ def check_ledger(
                 latest=latest_wall,
                 baseline=base_wall,
                 detail=f"exceeded {max_timing_ratio:g}x baseline median",
+            )
+        )
+    # Newly-firing alerts: a run that starts alerting when its baseline
+    # never did is an operational regression even if every counter and
+    # digest matched (alert state also depends on the rule file).
+    latest_firing = latest.firing_alerts()
+    if (
+        not allow_alerts
+        and latest_firing
+        and all(not r.firing_alerts() for r in baseline)
+    ):
+        rules = sorted({str(event.get("rule")) for event in latest_firing})
+        findings.append(
+            RegressionFinding(
+                kind="alert",
+                name="firing_alerts",
+                latest=float(len(latest_firing)),
+                baseline=0.0,
+                detail=(
+                    "newly firing vs alert-free baseline: "
+                    + ", ".join(rules)
+                    + " (pass --allow-alerts if expected)"
+                ),
             )
         )
     # Attributed per-phase self-time: same ratio gate, per span path.

@@ -183,6 +183,9 @@ class MetricsRegistry:
         #: Aggregated profiler samples: collapsed-stack key -> sample
         #: count (see :mod:`repro.obs.profile` for the key format).
         self.profile: Dict[str, float] = {}
+        #: Optional attached :class:`~repro.obs.series.TimeSeriesRecorder`
+        #: snapshotting this registry at epoch boundaries.
+        self.series = None
 
     # -- handle creation ----------------------------------------------- #
 
@@ -251,6 +254,15 @@ class MetricsRegistry:
             for key, count in samples.items():
                 self.profile[key] = self.profile.get(key, 0.0) + float(count)
 
+    def attach_series(self, recorder) -> None:
+        """Attach a time-series recorder to snapshot this registry.
+
+        Components that close epochs (``OnlineRatingSystem``, the CLI
+        report pipeline) look here for the recorder to feed, so a single
+        attachment turns scalar telemetry into series everywhere.
+        """
+        self.series = recorder
+
     # -- inspection ----------------------------------------------------- #
 
     def counter_value(self, name: str) -> float:
@@ -269,13 +281,15 @@ class MetricsRegistry:
         }
 
     def reset(self) -> None:
-        """Drop every metric and recorded span."""
+        """Drop every metric and recorded span (and any recorded series)."""
         with self._lock:
             self.counters.clear()
             self.gauges.clear()
             self.histograms.clear()
             self.spans.clear()
             self.profile.clear()
+            if self.series is not None:
+                self.series.clear()
 
 
 class NullRegistry(MetricsRegistry):
@@ -318,6 +332,9 @@ class NullRegistry(MetricsRegistry):
         pass
 
     def add_profile_samples(self, samples: Dict[str, float]) -> None:
+        pass
+
+    def attach_series(self, recorder) -> None:
         pass
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:

@@ -84,6 +84,16 @@ class ReportData:
         default_factory=dict
     )
     drift_warnings: Sequence[str] = ()
+    #: Alert state transitions:
+    #: ``(epoch, rule, state, value, threshold, severity, latency)`` rows.
+    alert_rows: Sequence[
+        Tuple[int, str, str, float, float, str, int]
+    ] = ()
+    #: Recorded per-epoch metric series keyed by metric name (values in
+    #: epoch order) -- rendered as sparklines.
+    series_sparklines: Mapping[str, Sequence[float]] = field(
+        default_factory=dict
+    )
     counters: Mapping[str, float] = field(default_factory=dict)
     #: ``(name, count, mean, p50, max)`` histogram summary rows.
     histogram_rows: Sequence[Tuple[str, int, float, float, float]] = ()
@@ -139,16 +149,69 @@ def report_from_registry(
             (name, int(summary["count"]), summary["mean"], summary["p50"],
              summary["max"]),
         )
+    alert_rows: List[Tuple[int, str, str, float, float, str, int]] = []
+    series_sparklines: Dict[str, List[float]] = {}
+    recorder = registry.series
+    if recorder is not None:
+        engine = recorder.engine
+        if engine is not None:
+            alert_rows = [
+                (
+                    event.epoch,
+                    event.rule,
+                    event.state,
+                    event.value,
+                    event.threshold,
+                    event.severity,
+                    event.latency_epochs,
+                )
+                for event in engine.events
+            ]
+        series_sparklines = _headline_series(recorder)
     return ReportData(
         title=title,
         environment=dict(environment or {}),
         ledger_rows=ledger_rows,
         confusions=confusion_from_counters(counters),
+        alert_rows=alert_rows,
+        series_sparklines=series_sparklines,
         counters=counters,
         histogram_rows=histogram_rows,
         trace_summary=trace_summary,
         notes=notes,
     )
+
+
+#: Series namespaces the report charts first (operational headliners).
+_SERIES_PRIORITY = ("drift.", "quality.", "online.", "alert.")
+
+#: At most this many sparkline figures render in the series section.
+MAX_SERIES_SPARKLINES = 12
+
+
+def _headline_series(recorder) -> Dict[str, List[float]]:
+    """The most report-worthy recorded series (>= 2 points, capped).
+
+    Operational namespaces (:data:`_SERIES_PRIORITY`) chart first,
+    alphabetically within a namespace, then everything else -- at most
+    :data:`MAX_SERIES_SPARKLINES` series total.
+    """
+
+    def rank(name: str) -> Tuple[int, str]:
+        for index, prefix in enumerate(_SERIES_PRIORITY):
+            if name.startswith(prefix):
+                return (index, name)
+        return (len(_SERIES_PRIORITY), name)
+
+    picked: Dict[str, List[float]] = {}
+    for name in sorted(recorder.names(), key=rank):
+        points = recorder.series(name)
+        if len(points) < 2:
+            continue
+        picked[name] = [value for _, value in points]
+        if len(picked) >= MAX_SERIES_SPARKLINES:
+            break
+    return picked
 
 
 # --------------------------------------------------------------------- #
@@ -322,6 +385,11 @@ _CONFUSION_HEADERS = (
     "precision", "recall", "false alarms",
 )
 
+_ALERT_HEADERS = (
+    "epoch", "rule", "state", "value", "threshold", "severity",
+    "latency (epochs)",
+)
+
 
 def render_html(data: ReportData) -> str:
     """Render one report as a single self-contained HTML document."""
@@ -419,6 +487,30 @@ def render_html(data: ReportData) -> str:
             '<p class="ok">no assumption-drift warnings: the fair-rating '
             "regime held.</p>"
         )
+    if data.alert_rows:
+        firing = sum(1 for row in data.alert_rows if row[2] == "firing")
+        parts.append("<h2>Alerts</h2>")
+        parts.append(
+            f'<p class="{"warn" if firing else "ok"}">'
+            f"{len(data.alert_rows)} alert state transition(s), "
+            f"{firing} firing; latency is epochs between first breach "
+            "and the alarm.</p>"
+        )
+        parts.append(_html_table(_ALERT_HEADERS, data.alert_rows))
+    if data.series_sparklines:
+        parts.append("<h2>Telemetry series</h2>")
+        parts.append(
+            '<p class="dim">Per-epoch metric snapshots (epoch index on '
+            "the x axis).</p>"
+        )
+        for label, series in data.series_sparklines.items():
+            parts.append(
+                "<figure>"
+                + svg_sparkline(series)
+                + f"<figcaption>{html.escape(label)}"
+                + (f" ({_fmt(series[-1])})" if len(series) else "")
+                + "</figcaption></figure>"
+            )
     if data.counters:
         parts.append("<h2>Counters</h2>")
         parts.append(
@@ -503,6 +595,16 @@ def render_markdown(data: ReportData) -> str:
         parts.extend(f"- {w}" for w in data.drift_warnings)
     else:
         parts.append("no assumption-drift warnings.")
+    if data.alert_rows:
+        parts += ["", "## Alerts", "", _md_table(
+            _ALERT_HEADERS, data.alert_rows
+        )]
+    if data.series_sparklines:
+        parts += ["", "## Telemetry series (per epoch)", ""]
+        for label, series in data.series_sparklines.items():
+            parts.append(
+                f"- {label}: " + ", ".join(_fmt(v) for v in series)
+            )
     if data.counters:
         parts += ["", "## Counters", "", _md_table(
             ("counter", "value"), sorted(data.counters.items())

@@ -42,8 +42,10 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ValidationError
 from repro.obs import get_logger
+from repro.obs.alerts import AlertEvent
 from repro.obs.drift import DriftMonitor, DriftMonitorConfig, DriftWarning
 from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.series import TimeSeriesRecorder
 from repro.types import Rating, RatingDataset, RatingStream
 
 __all__ = ["EpochReport", "OnlineRatingSystem"]
@@ -74,6 +76,9 @@ class EpochReport:
     late_ratings: int
     telemetry: Mapping[str, float] = field(default_factory=dict)
     drift_warnings: Tuple[DriftWarning, ...] = ()
+    #: Alert state transitions produced at this epoch's close (only when
+    #: a series recorder with an alert engine is attached).
+    alerts: Tuple[AlertEvent, ...] = ()
 
     def score_of(self, product_id: str) -> float:
         """Published score for ``product_id`` (NaN when unscored)."""
@@ -104,6 +109,10 @@ class OnlineRatingSystem:
         Monitor tunables; ``None`` uses the calibrated defaults.  When
         its ``fair_mean`` is unset the monitor calibrates from
         ``history`` (or self-calibrates on the first monitored window).
+    series_recorder:
+        Explicit :class:`~repro.obs.series.TimeSeriesRecorder` snapshotted
+        at every epoch close; ``None`` falls back to the recorder attached
+        to the effective registry (if any).
     """
 
     def __init__(
@@ -115,6 +124,7 @@ class OnlineRatingSystem:
         registry: Optional[MetricsRegistry] = None,
         monitor_drift: bool = True,
         drift_config: Optional[DriftMonitorConfig] = None,
+        series_recorder: Optional[TimeSeriesRecorder] = None,
     ) -> None:
         if period_days <= 0:
             raise ValidationError(f"period_days must be > 0, got {period_days}")
@@ -138,6 +148,7 @@ class OnlineRatingSystem:
             )
             if history is not None and history.total_ratings():
                 self.drift_monitor.calibrate(history)
+        self._series_recorder = series_recorder
         self._epochs_closed = 0
         self._ingested_this_epoch = 0
         # Late arrivals keyed by the epoch index their timestamp lands in.
@@ -241,6 +252,22 @@ class OnlineRatingSystem:
             "scheme_seconds": scheme_seconds,
             "drift_warnings": float(len(drift_warnings)),
         }
+        registry = self.registry
+        registry.inc("online.epochs_closed")
+        registry.observe("online.scheme_seconds", scheme_seconds)
+        registry.set_gauge("online.products", float(len(self._buffers)))
+        # Snapshot the registry *after* this epoch's own telemetry landed
+        # so the recorded series reflect the epoch being published; the
+        # recorder also drives the alert engine, whose events ride on the
+        # published report.
+        alerts: Tuple[AlertEvent, ...] = ()
+        recorder = (
+            self._series_recorder
+            if self._series_recorder is not None
+            else registry.series
+        )
+        if recorder is not None:
+            alerts = tuple(recorder.record_epoch(self._epochs_closed, registry))
         report = EpochReport(
             epoch_index=self._epochs_closed,
             epoch_start=epoch_start,
@@ -250,14 +277,11 @@ class OnlineRatingSystem:
             late_ratings=self._late_by_epoch.get(self._epochs_closed, 0),
             telemetry=telemetry,
             drift_warnings=drift_warnings,
+            alerts=alerts,
         )
         self._reports.append(report)
         self._epochs_closed += 1
         self._ingested_this_epoch = 0
-        registry = self.registry
-        registry.inc("online.epochs_closed")
-        registry.observe("online.scheme_seconds", scheme_seconds)
-        registry.set_gauge("online.products", float(len(self._buffers)))
         logger.info(
             "epoch=%d window=[%.1f, %.1f) products_scored=%d ingested=%d "
             "scheme_seconds=%.4f",

@@ -394,3 +394,135 @@ class TestLintCommand:
         out = capsys.readouterr().out
         assert "rng-unseeded" in out
         assert "unordered-iter" in out
+
+
+class TestMetricsStreamFlag:
+    def test_stream_written_with_closing_snapshot(self, tmp_path):
+        stream = tmp_path / "stream.jsonl"
+        out = tmp_path / "w.csv"
+        code = main(
+            ["world", "--seed", "3", "--out", str(out),
+             "--metrics-stream", str(stream)]
+        )
+        assert code == 0
+        from repro.obs import read_metrics_stream
+
+        snapshots = read_metrics_stream(stream)
+        # No epoch structure in 'world': exactly one closing snapshot.
+        assert len(snapshots) == 1
+        assert snapshots[0][0] == 0
+
+    def test_report_streams_one_snapshot_per_epoch(self, tmp_path):
+        stream = tmp_path / "stream.jsonl"
+        code = main(
+            ["report", "--seed", "7", "--size", "1",
+             "--out", str(tmp_path / "r.html"),
+             "--metrics-stream", str(stream)]
+        )
+        assert code == 0
+        from repro.obs import read_metrics_stream
+
+        snapshots = read_metrics_stream(stream)
+        assert len(snapshots) >= 2
+        assert [epoch for epoch, _ in snapshots] == list(
+            range(len(snapshots))
+        )
+
+    def test_openmetrics_export(self, tmp_path):
+        target = tmp_path / "metrics.om"
+        code = main(
+            ["report", "--seed", "7", "--size", "1",
+             "--out", str(tmp_path / "r.html"),
+             "--openmetrics-out", str(target)]
+        )
+        assert code == 0
+        from repro.obs import parse_openmetrics
+
+        text = target.read_text(encoding="utf-8")
+        assert text.endswith("# EOF\n")
+        parsed = parse_openmetrics(text)
+        assert parsed["counters"]["detector_HC_calls"] > 0
+
+    def test_bad_rules_file_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text("[[rule]]\nname = \"a\"\n", encoding="utf-8")
+        code = main(
+            ["world", "--seed", "3", "--out", str(tmp_path / "w.csv"),
+             "--alert-rules", str(bad),
+             "--metrics-stream", str(tmp_path / "s.jsonl")]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestMonitorCommand:
+    def write_stream(self, tmp_path):
+        from repro.obs import MetricsStreamWriter
+
+        path = tmp_path / "stream.jsonl"
+        with MetricsStreamWriter(path) as writer:
+            writer.write(0, {"drift.warnings": 0.0})
+            writer.write(1, {"drift.warnings": 2.0})
+        return path
+
+    def test_monitor_once_renders_frame(self, tmp_path, capsys):
+        path = self.write_stream(tmp_path)
+        assert main(["monitor", str(path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "epoch 1" in out
+        assert "drift.warnings" in out
+        assert "alerts:" in out
+        # drift.warnings moved: the default ruleset fires on replay.
+        assert "FIRING" in out
+
+    def test_monitor_select_filters_series(self, tmp_path, capsys):
+        path = self.write_stream(tmp_path)
+        assert main(
+            ["monitor", str(path), "--once", "--select", "nomatch"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "drift.warnings  " not in out
+
+    def test_monitor_missing_file_renders_empty_frame(self, tmp_path,
+                                                      capsys):
+        absent = tmp_path / "absent.jsonl"
+        assert main(["monitor", str(absent), "--once"]) == 0
+        assert "no snapshots yet" in capsys.readouterr().out
+
+
+class TestAlertsCommand:
+    def test_default_ruleset_listed(self, capsys):
+        assert main(["alerts"]) == 0
+        out = capsys.readouterr().out
+        assert "rule(s) OK" in out
+        assert "drift-warnings-moving" in out
+
+    def test_check_valid_file_exits_zero(self, capsys):
+        assert main(["alerts", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        # --check never prints the rule table.
+        assert "drift-warnings-moving" not in out
+
+    def test_check_invalid_file_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text('[[rule]]\nname = "a"\nbogus = 1\n', encoding="utf-8")
+        assert main(["alerts", "--check", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_mixed_files_validate_independently(self, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text("not toml at [[", encoding="utf-8")
+        good = tmp_path / "good.json"
+        good.write_text(
+            '{"rules": [{"name": "a", "metric": "drift.warnings"}]}',
+            encoding="utf-8",
+        )
+        assert main(["alerts", "--check", str(good), str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "good.json: 1 rule(s) OK" in captured.out
+        assert "error" in captured.err
+
+    def test_runs_check_allow_alerts_flag_parses(self):
+        args = build_parser().parse_args(["runs", "check", "--allow-alerts"])
+        assert args.allow_alerts is True

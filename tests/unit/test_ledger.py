@@ -448,3 +448,110 @@ class TestRunsCli:
         before = path.read_text()
         assert main(["runs", "list", "--ledger", str(path)]) == 0
         assert path.read_text() == before
+
+
+class TestAlertsInLedger:
+    def firing_event(self, rule="drift-warnings-moving"):
+        return {
+            "rule": rule, "metric": "drift.warnings", "state": "firing",
+            "epoch": 1, "value": 2.0, "threshold": 0.0,
+            "severity": "warning", "latency_epochs": 0, "description": "",
+        }
+
+    def test_build_record_collects_engine_events(self):
+        from repro.obs import AlertEngine, AlertRule
+        from repro.obs.series import TimeSeriesRecorder
+
+        registry = MetricsRegistry()
+        rule = AlertRule(name="r", metric="m", op=">", value=0.0)
+        recorder = TimeSeriesRecorder(
+            engine=AlertEngine([rule], registry=registry)
+        )
+        registry.attach_series(recorder)
+        recorder.ingest_snapshot(0, {"m": 1.0})
+        recorder.engine.evaluate(recorder, 0, registry=registry)
+        record = build_record(
+            command="population", argv=["population"], registry=registry,
+            timestamp=1.0,
+        )
+        assert [e["state"] for e in record.alerts] == ["firing"]
+        assert record.firing_alerts()[0]["rule"] == "r"
+
+    def test_alerts_round_trip_through_json(self):
+        record = make_record("withalert")
+        record.alerts = [self.firing_event()]
+        clone = RunRecord.from_dict(
+            json.loads(json.dumps(record.as_dict()))
+        )
+        assert clone.alerts == record.alerts
+        assert [e["rule"] for e in clone.firing_alerts()] == [
+            "drift-warnings-moving"
+        ]
+
+    def test_resolved_events_are_not_firing(self):
+        record = make_record("resolved")
+        record.alerts = [dict(self.firing_event(), state="resolved")]
+        assert record.firing_alerts() == []
+
+    def test_old_records_without_alerts_still_load(self):
+        payload = make_record("old").as_dict()
+        payload.pop("alerts", None)
+        assert RunRecord.from_dict(payload).alerts == []
+
+
+class TestCheckLedgerAlerts:
+    def write(self, tmp_path, records):
+        path = tmp_path / "ledger.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record.as_dict()) + "\n")
+        return RunLedger(path)
+
+    def baseline(self, n=3):
+        return [
+            make_record(f"base{i:02d}", timestamp=1000.0 + i)
+            for i in range(n)
+        ]
+
+    def firing_record(self, run_id="latest", timestamp=2000.0):
+        record = make_record(run_id, timestamp=timestamp)
+        record.alerts = [
+            {
+                "rule": "drift-dispersion-burst", "metric":
+                "drift.dispersion.violations", "state": "firing",
+                "epoch": 2, "value": 1.0, "threshold": 0.0,
+                "severity": "critical", "latency_epochs": 0,
+                "description": "",
+            }
+        ]
+        return record
+
+    def test_newly_firing_alert_flagged(self, tmp_path):
+        ledger = self.write(tmp_path, self.baseline() + [self.firing_record()])
+        report = check_ledger(ledger)
+        assert not report.ok
+        kinds = [f.kind for f in report.findings]
+        assert "alert" in kinds
+        finding = next(f for f in report.findings if f.kind == "alert")
+        assert "drift-dispersion-burst" in finding.detail
+        assert finding.latest == 1.0
+
+    def test_allow_alerts_waives_the_check(self, tmp_path):
+        ledger = self.write(tmp_path, self.baseline() + [self.firing_record()])
+        assert check_ledger(ledger, allow_alerts=True).ok
+
+    def test_alerting_baseline_not_flagged(self, tmp_path):
+        # The baseline already fires: nothing *newly* regressed.
+        baseline = [
+            self.firing_record(f"base{i:02d}", timestamp=1000.0 + i)
+            for i in range(3)
+        ]
+        ledger = self.write(tmp_path, baseline + [self.firing_record()])
+        assert check_ledger(ledger).ok
+
+    def test_clean_latest_not_flagged(self, tmp_path):
+        ledger = self.write(
+            tmp_path,
+            self.baseline() + [make_record("latest", timestamp=2000.0)],
+        )
+        assert check_ledger(ledger).ok

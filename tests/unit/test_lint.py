@@ -658,9 +658,86 @@ class TestRepoSelfCheck:
             "metric-stale",
             "span-balance",
             "unordered-iter",
+            "alert-unknown-metric",
         }
 
     def test_finding_ordering_is_total(self):
         a = Finding("a.py", 1, 0, "r", "m")
         b = Finding("a.py", 2, 0, "r", "m")
         assert sorted([b, a]) == [a, b]
+
+
+class TestAlertRuleMetricRule:
+    CATALOG = (
+        "| metric | kind | meaning |\n"
+        "| --- | --- | --- |\n"
+        "| `drift.warnings` | counter | drift warnings raised |\n"
+        "| `alert.latency_epochs` | histogram | firing latency |\n"
+    )
+
+    def run_rule(self, tmp_path, rules_text, name="rules.toml"):
+        catalog = tmp_path / "catalog.md"
+        catalog.write_text(self.CATALOG, encoding="utf-8")
+        rule_file = tmp_path / name
+        rule_file.write_text(rules_text, encoding="utf-8")
+        config = LintConfig(
+            select={"alert-unknown-metric"},
+            catalog_paths=[str(catalog)],
+            alert_rule_paths=[str(rule_file)],
+        )
+        return run_lint([], config)
+
+    def test_unknown_metric_flagged(self, tmp_path):
+        result = self.run_rule(
+            tmp_path,
+            '[[rule]]\nname = "r"\nmetric = "no.such.metric"\n',
+        )
+        (finding,) = result.findings
+        assert finding.rule == "alert-unknown-metric"
+        assert "no.such.metric" in finding.message
+        assert finding.symbol == "r:no.such.metric"
+
+    def test_catalogued_metric_clean(self, tmp_path):
+        result = self.run_rule(
+            tmp_path, '[[rule]]\nname = "r"\nmetric = "drift.warnings"\n'
+        )
+        assert result.findings == []
+
+    def test_histogram_derived_series_resolves(self, tmp_path):
+        # <histogram>.p90 strips the derived-series suffix and matches
+        # the catalogued histogram entry.
+        result = self.run_rule(
+            tmp_path,
+            '[[rule]]\nname = "r"\nmetric = "alert.latency_epochs.p90"\n',
+        )
+        assert result.findings == []
+
+    def test_derived_suffix_needs_histogram_kind(self, tmp_path):
+        # drift.warnings is a counter: .p90 must not resolve through it.
+        result = self.run_rule(
+            tmp_path, '[[rule]]\nname = "r"\nmetric = "drift.warnings.p90"\n'
+        )
+        assert len(result.findings) == 1
+
+    def test_unloadable_rule_file_flagged(self, tmp_path):
+        result = self.run_rule(
+            tmp_path, '[[rule]]\nname = "r"\nbogus_key = 1\n'
+        )
+        (finding,) = result.findings
+        assert "cannot load" in finding.message
+
+    def test_committed_rulesets_pass_against_repo_catalogs(self):
+        rule_dir = REPO_ROOT / "src/repro/obs/alert_rules"
+        config = LintConfig(
+            select={"alert-unknown-metric"},
+            catalog_paths=[
+                str(REPO_ROOT / "docs/API.md"),
+                str(REPO_ROOT / "docs/OBSERVABILITY.md"),
+            ],
+            alert_rule_paths=[
+                str(p) for p in sorted(rule_dir.iterdir())
+                if p.suffix in (".toml", ".json")
+            ],
+        )
+        result = run_lint([], config)
+        assert result.ok, "\n" + result.to_text()

@@ -194,3 +194,52 @@ class TestWithHistoryAndPScheme:
             system.close_epoch()
         assert [r.epoch_index for r in system.reports] == [0, 1, 2]
         assert system.reports[2].epoch_start == pytest.approx(60.0)
+
+
+class TestEpochAlerts:
+    def build_system(self, rule_value=0.0):
+        from repro.obs import AlertEngine, AlertRule, MetricsRegistry
+        from repro.obs.series import TimeSeriesRecorder
+
+        registry = MetricsRegistry()
+        rule = AlertRule(
+            name="ingest-moving", metric="online.ratings_ingested",
+            kind="rate_of_change", op=">", value=rule_value,
+        )
+        recorder = TimeSeriesRecorder(
+            engine=AlertEngine([rule], registry=registry)
+        )
+        system = OnlineRatingSystem(
+            SimpleAveragingScheme(), period_days=30.0,
+            registry=registry, series_recorder=recorder,
+        )
+        return system, registry, recorder
+
+    def test_epoch_report_carries_alerts(self):
+        system, registry, recorder = self.build_system()
+        system.submit(make_rating(5.0, 4.0))
+        report = system.close_epoch()
+        assert [event.state for event in report.alerts] == ["firing"]
+        assert report.alerts[0].rule == "ingest-moving"
+        assert registry.counter_value("alert.firing") == 1.0
+        assert recorder.series("online.ratings_ingested") == [(0, 1.0)]
+
+    def test_no_recorder_means_no_alerts(self):
+        system = OnlineRatingSystem(SimpleAveragingScheme(), period_days=30.0)
+        system.submit(make_rating(5.0, 4.0))
+        assert system.close_epoch().alerts == ()
+
+    def test_registry_attached_recorder_used(self):
+        # Wiring through registry.attach_series (the CLI path) is
+        # equivalent to passing series_recorder explicitly.
+        from repro.obs import MetricsRegistry
+        from repro.obs.series import TimeSeriesRecorder
+
+        registry = MetricsRegistry()
+        registry.attach_series(TimeSeriesRecorder())
+        system = OnlineRatingSystem(
+            SimpleAveragingScheme(), period_days=30.0, registry=registry
+        )
+        system.submit(make_rating(5.0, 4.0))
+        system.close_epoch()
+        assert registry.series.series("online.epochs_closed") == [(0, 1.0)]
