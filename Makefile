@@ -18,7 +18,8 @@ lint:            ## compileall + ruff (when installed) + repro.lint invariants
 	else \
 		echo "ruff not installed; skipping generic pass (config pinned in pyproject.toml)"; \
 	fi
-	PYTHONPATH=src $(PYTHON) -m repro.lint src --json .repro-lint-findings.json
+	PYTHONPATH=src $(PYTHON) -m repro.lint src --json .repro-lint-findings.json --sarif .repro-lint.sarif
+	PYTHONPATH=src $(PYTHON) -m repro.lint.selfcheck
 
 bench:           ## full 251-submission reproduction of every figure
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -412,6 +412,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the metric-stale direction (for partial trees)",
     )
     lint.add_argument(
+        "--sarif", dest="lint_sarif", metavar="PATH", default=None,
+        help="also write the findings as a SARIF 2.1.0 report to PATH",
+    )
+    lint.add_argument(
+        "--cache", dest="lint_cache", metavar="PATH", default=None,
+        help="per-module analysis cache file "
+             "(default: .repro-lint-cache.json)",
+    )
+    lint.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the analysis cache",
+    )
+    lint.add_argument(
+        "--changed-only", action="store_true",
+        help="check only modules touched in git diff plus their "
+             "reverse-dependency closure",
+    )
+    lint.add_argument(
+        "--diff-base", dest="lint_diff_base", metavar="REF", default=None,
+        help="git ref --changed-only diffs against (default: HEAD)",
+    )
+    lint.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
@@ -949,6 +971,16 @@ def _cmd_lint(args) -> int:
         forwarded += ["--ignore", args.lint_ignore]
     if args.no_stale:
         forwarded.append("--no-stale")
+    if args.lint_sarif:
+        forwarded += ["--sarif", args.lint_sarif]
+    if args.lint_cache:
+        forwarded += ["--cache", args.lint_cache]
+    if args.no_cache:
+        forwarded.append("--no-cache")
+    if args.changed_only:
+        forwarded.append("--changed-only")
+    if args.lint_diff_base:
+        forwarded += ["--diff-base", args.lint_diff_base]
     if args.list_rules:
         forwarded.append("--list-rules")
     return lint_main(forwarded)

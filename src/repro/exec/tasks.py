@@ -29,6 +29,7 @@ from typing import Callable, Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.attacks.time_models import TimeModel
 from repro.errors import ValidationError
 from repro.exec.hashing import derive_seed, stable_fingerprint
 
@@ -261,7 +262,7 @@ class LandscapeProbeTask(EvalTask):
     std: float
     probes: int
     n_ratings: int
-    time_model: object  # a frozen TimeModel dataclass
+    time_model: TimeModel  # a frozen dataclass (UniformWindow et al.)
     targets: Tuple  # of ProductTarget
     seed_root: int
 

@@ -193,7 +193,12 @@ def _sweep_fixtures(
         )
         attacked = challenge.fair_dataset.merge(submission.as_dict())
         attacked_cases.append(attacked[pid])
-    _FIXTURES[key] = (fair_datasets, attacked_cases)
+    # Sanctioned worker-side write: _FIXTURES is a pure per-process
+    # memo keyed by the seeds that rebuild its value, exactly like the
+    # exec.tasks._SHARED registry -- a worker losing or racing the entry
+    # only re-derives the same deterministic fixtures, never a
+    # different result.
+    _FIXTURES[key] = (fair_datasets, attacked_cases)  # lint: ignore[worker-state-mutation]
     return _FIXTURES[key]
 
 

@@ -3,24 +3,35 @@
 Machine-checks the coding invariants the determinism and telemetry
 guarantees rest on (see ``docs/LINT.md`` for the rule catalog):
 
-========================  ============================================
-rule id                   invariant
-========================  ============================================
-``rng-unseeded``          RNG constructors must receive a seed
-``rng-global-state``      no module-level ``np.random.*``/``random.*``
-``rng-missing-param``     world builders accept an ``rng``/``seed``
-``wall-clock``            no absolute-time reads outside pragma'd sites
-``pickle-safety``         no lambdas/closures in EvalTask/pool payloads
-``metric-uncataloged``    emitted metric names appear in the docs
-``metric-stale``          catalogued metric names are still emitted
-``span-balance``          spans open only via ``with span(...)``
-``unordered-iter``        no salted-order iteration near fingerprints
-``alert-unknown-metric``  alert-rule files watch catalogued metrics
-========================  ============================================
+==========================  ============================================
+rule id                     invariant
+==========================  ============================================
+``rng-unseeded``            RNG constructors must receive a seed
+``rng-global-state``        no module-level ``np.random.*``/``random.*``
+``rng-missing-param``       world builders accept an ``rng``/``seed``
+``wall-clock``              no absolute-time reads outside pragma'd sites
+``pickle-safety``           no lambdas/closures in EvalTask/pool payloads
+``metric-uncataloged``      emitted metric names appear in the docs
+``metric-stale``            catalogued metric names are still emitted
+``span-balance``            spans open only via ``with span(...)``
+``unordered-iter``          no salted-order iteration near fingerprints
+``alert-unknown-metric``    alert-rule files watch catalogued metrics
+``rng-taint``               task-reachable RNG seeded from plumbed seeds
+``worker-state-mutation``   no global/shared writes in the worker closure
+``pickle-reachability``     task fields resolve to picklable definitions
+``wallclock-fingerprint``   no wall clock anywhere in fingerprint inputs
+``span-escape``             helper-returned spans land in ``with`` blocks
+==========================  ============================================
+
+The first ten are per-file AST rules; the last five run over the linked
+whole-program call graph (:mod:`repro.lint.graph` /
+:mod:`repro.lint.flow`), with per-module summaries cached by content
+hash in ``.repro-lint-cache.json``.
 
 Run as ``python -m repro.lint [paths...]`` or ``repro-rating lint``;
-suppress a single line with ``# lint: ignore[rule-id]``, and carry
-accepted pre-existing findings in ``.repro-lint-baseline.json``.
+suppress a single line with ``# lint: ignore[rule-id]``, carry accepted
+pre-existing findings in ``.repro-lint-baseline.json``, and export
+GitHub-code-scanning annotations with ``--sarif``.
 """
 
 from __future__ import annotations
@@ -40,6 +51,13 @@ from repro.lint.core import (
     Rule,
     baseline_payload,
     run_lint,
+)
+from repro.lint.flow import (
+    PickleReachabilityRule,
+    RngTaintRule,
+    SpanEscapeRule,
+    WallclockFingerprintRule,
+    WorkerStateMutationRule,
 )
 from repro.lint.rules_alerts import AlertRuleMetricRule
 from repro.lint.rules_metrics import MetricCatalogRule, MetricStaleRule, SpanBalanceRule
@@ -61,6 +79,7 @@ __all__ = [
 ]
 
 DEFAULT_BASELINE = ".repro-lint-baseline.json"
+DEFAULT_CACHE = ".repro-lint-cache.json"
 DEFAULT_CATALOGS = ("docs/API.md", "docs/OBSERVABILITY.md")
 #: Where committed alert-rule files live (relative to the repo root).
 DEFAULT_ALERT_RULE_DIRS = ("src/repro/obs/alert_rules",)
@@ -79,6 +98,11 @@ def default_rules(config: LintConfig) -> List[Rule]:
         SpanBalanceRule(),
         UnorderedIterRule(),
         AlertRuleMetricRule(config.catalog_paths, config.alert_rule_paths),
+        RngTaintRule(),
+        WorkerStateMutationRule(),
+        PickleReachabilityRule(),
+        WallclockFingerprintRule(),
+        SpanEscapeRule(),
     ]
 
 
@@ -127,6 +151,30 @@ def build_arg_parser() -> argparse.ArgumentParser:
              "default: every file under src/repro/obs/alert_rules)",
     )
     parser.add_argument(
+        "--sarif", metavar="PATH", default=None,
+        help="also write findings as a SARIF 2.1.0 report to PATH",
+    )
+    parser.add_argument(
+        "--cache", metavar="PATH", default=None,
+        help="per-module analysis cache file for the whole-program rules "
+             f"(default: {DEFAULT_CACHE}; warm runs re-analyze only "
+             "changed modules)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the analysis cache",
+    )
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="check only modules touched in git diff (plus their "
+             "reverse-dependency closure over the import graph); implies "
+             "--no-stale",
+    )
+    parser.add_argument(
+        "--diff-base", metavar="REF", default="HEAD",
+        help="git ref --changed-only diffs against (default: HEAD)",
+    )
+    parser.add_argument(
         "--no-stale", action="store_true",
         help="skip the metric-stale direction (use when linting a subset "
              "of the tree, where 'nothing emits X' is vacuous)",
@@ -163,12 +211,39 @@ def _default_alert_rules() -> List[str]:
     return out
 
 
+def _git_changed_paths(diff_base: str) -> List[str]:
+    """Python files touched vs ``diff_base``, plus untracked ones."""
+    import subprocess
+
+    out: List[str] = []
+    commands = [
+        ["git", "diff", "--name-only", diff_base, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ]
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            raise RuntimeError(
+                f"--changed-only needs git ({' '.join(command)} failed: {exc})"
+            ) from exc
+        out.extend(
+            line.strip()
+            for line in proc.stdout.splitlines()
+            if line.strip().endswith(".py")
+        )
+    return sorted(set(out))
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro.lint`` and ``repro-rating lint``."""
     args = build_arg_parser().parse_args(argv)
 
     ignore = {part.strip() for part in args.ignore.split(",") if part.strip()}
-    if args.no_stale:
+    if args.no_stale or args.changed_only:
+        # A partial tree makes "nothing emits X" vacuous.
         ignore.add(MetricStaleRule.id)
     select = None
     if args.select:
@@ -179,6 +254,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         baseline = DEFAULT_BASELINE
     if args.no_baseline:
         baseline = None
+
+    changed_paths: Optional[List[str]] = None
+    if args.changed_only:
+        try:
+            changed_paths = _git_changed_paths(args.diff_base)
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     config = LintConfig(
         select=select,
@@ -192,7 +275,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if args.alert_rules is not None
             else _default_alert_rules()
         ),
-        stale_check=not args.no_stale,
+        stale_check=not (args.no_stale or args.changed_only),
+        cache_path=(
+            None if args.no_cache else (args.cache or DEFAULT_CACHE)
+        ),
+        changed_paths=changed_paths,
     )
     rules = default_rules(config)
 
@@ -220,6 +307,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{len(payload['entries'])} entr(y/ies)"
         )
         return 0
+
+    if args.sarif:
+        from repro.lint.sarif import to_sarif
+
+        Path(args.sarif).write_text(
+            json.dumps(to_sarif(result, rules), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
 
     json_owns_stdout = args.json == "-"
     if args.json:

@@ -36,11 +36,24 @@ __all__ = [
     "Linter",
     "ModuleSource",
     "Rule",
+    "expr_window",
     "load_baseline",
     "run_lint",
 ]
 
 JSON_SCHEMA_VERSION = 1
+
+
+def expr_window(node: ast.AST, cap: int = 12) -> Tuple[int, ...]:
+    """Continuation lines of a multiline node, for ``Finding.extra_lines``.
+
+    A ``# lint: ignore[...]`` pragma anywhere inside a multiline call
+    (typically on the closing-paren line) should suppress the finding
+    anchored at the call's first line; ``cap`` bounds the window so a
+    pathological expression cannot blanket a whole file.
+    """
+    end = getattr(node, "end_lineno", None) or node.lineno
+    return tuple(range(node.lineno + 1, min(end, node.lineno + cap) + 1))
 
 #: ``# lint: ignore`` suppresses every rule on that line;
 #: ``# lint: ignore[rule-a,rule-b]`` suppresses only the named rules.
@@ -60,6 +73,10 @@ class Finding:
     #: function name, a call expression) -- the line-independent part of
     #: the baseline key, so unrelated edits don't churn the baseline.
     symbol: str = ""
+    #: Extra lines where a suppression pragma also counts -- decorator
+    #: lines above a flagged def, or the continuation lines of a
+    #: multiline call.  Excluded from ordering, JSON, and the baseline.
+    extra_lines: Tuple[int, ...] = field(default=(), compare=False)
 
     @property
     def baseline_key(self) -> Tuple[str, str, str]:
@@ -151,11 +168,14 @@ class ModuleSource:
         return cls(path, text, ast.parse(text, filename=path))
 
     def suppresses(self, finding: Finding) -> bool:
-        """Whether a pragma on the finding's line covers its rule."""
-        rules = self.ignores.get(finding.line, ...)
-        if rules is ...:
-            return False
-        return rules is None or finding.rule in rules
+        """Whether a pragma on any of the finding's lines covers its rule."""
+        for line in (finding.line, *finding.extra_lines):
+            rules = self.ignores.get(line, ...)
+            if rules is ...:
+                continue
+            if rules is None or finding.rule in rules:
+                return True
+        return False
 
 
 class Rule:
@@ -165,9 +185,16 @@ class Rule:
     id: str = ""
     #: One-line description shown by ``--list-rules`` and docs.
     summary: str = ""
+    #: Whole-program rules set this; the linter then builds the linked
+    #: call graph (:mod:`repro.lint.graph`) and calls ``check_program``.
+    needs_program: bool = False
 
     def check_module(self, module: ModuleSource) -> Iterable[Finding]:
         """Findings for one parsed file."""
+        return ()
+
+    def check_program(self, program) -> Iterable[Finding]:
+        """Findings over the linked whole-program view (flow rules)."""
         return ()
 
     def finalize(self, modules: Sequence[ModuleSource]) -> Iterable[Finding]:
@@ -193,6 +220,12 @@ class LintConfig:
     #: Whether to report catalog entries no code emits (disable when
     #: linting a partial tree, where "nothing emits X" is vacuous).
     stale_check: bool = True
+    #: Per-module analysis cache file (None disables persistence; the
+    #: in-memory store is still used within the run).
+    cache_path: Optional[str] = None
+    #: When set, only these paths plus their reverse-dependency closure
+    #: over the import graph are checked (``--changed-only`` mode).
+    changed_paths: Optional[Sequence[str]] = None
 
 
 @dataclass
@@ -205,6 +238,11 @@ class LintResult:
     files_checked: int
     rules: List[str]
     parse_errors: List[Finding]
+    #: Whole-program analysis stats: which modules were (re-)extracted
+    #: (``analyzed``), served from the cache (``cached``), and actually
+    #: rule-checked this run (``checked``).  Empty when no program rule
+    #: ran.
+    analysis: Dict[str, List[str]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -221,6 +259,9 @@ class LintResult:
             "suppressed": {
                 "pragma": self.pragma_suppressed,
                 "baseline": len(self.baseline_findings),
+            },
+            "analysis": {
+                key: list(value) for key, value in self.analysis.items()
             },
             "ok": self.ok,
         }
@@ -294,15 +335,35 @@ class Linter:
         ]
 
     def run(self, paths: Sequence[str]) -> LintResult:
-        modules: List[ModuleSource] = []
         parse_errors: List[Finding] = []
         files = walk_python_files(paths)
+        texts: Dict[str, str] = {}
+        order: List[str] = []
         for file_path in files:
             rel = file_path.as_posix()
             try:
-                text = file_path.read_text(encoding="utf-8")
-                modules.append(ModuleSource.parse(rel, text))
-            except (SyntaxError, UnicodeDecodeError) as exc:
+                texts[rel] = file_path.read_text(encoding="utf-8")
+                order.append(rel)
+            except (OSError, UnicodeDecodeError) as exc:
+                parse_errors.append(
+                    Finding(
+                        path=rel,
+                        line=1,
+                        column=0,
+                        rule="parse-error",
+                        message=f"cannot read file: {exc}",
+                        symbol=rel,
+                    )
+                )
+
+        parsed: Dict[str, Optional[ModuleSource]] = {}
+
+        def parse(rel: str) -> Optional[ModuleSource]:
+            if rel in parsed:
+                return parsed[rel]
+            try:
+                parsed[rel] = ModuleSource.parse(rel, texts[rel])
+            except SyntaxError as exc:
                 line = getattr(exc, "lineno", 1) or 1
                 parse_errors.append(
                     Finding(
@@ -314,13 +375,78 @@ class Linter:
                         symbol=rel,
                     )
                 )
+                parsed[rel] = None
+            return parsed[rel]
 
+        # ---- whole-program phase: summaries, cache, linked call graph.
+        program = None
+        analysis: Dict[str, List[str]] = {}
+        program_rules = [
+            rule for rule in self.rules if getattr(rule, "needs_program", False)
+        ]
+        if program_rules or self.config.changed_paths is not None:
+            # Imported lazily: graph depends on this module.
+            from repro.lint.graph import build_program, extract_summary
+            from repro.lint.store import AnalysisStore, content_digest
+
+            store_path = (
+                Path(self.config.cache_path) if self.config.cache_path else None
+            )
+            store = AnalysisStore(store_path)
+            summaries = []
+            for rel in order:
+                digest = content_digest(texts[rel])
+                summary = store.get(rel, digest)
+                if summary is None:
+                    module = parse(rel)
+                    if module is None:
+                        continue
+                    summary = extract_summary(module, digest)
+                    store.put(summary)
+                summaries.append(summary)
+            program = build_program(summaries)
+            store.prune(order)
+            store.save()
+            analysis = {
+                "analyzed": sorted(store.misses),
+                "cached": sorted(store.hits),
+            }
+
+        # ---- scope: everything, or the changed set's dependency closure.
+        if self.config.changed_paths is not None and program is not None:
+            wanted = program.reverse_dependency_closure(
+                Path(p).as_posix() for p in self.config.changed_paths
+            )
+            check_list = [rel for rel in order if rel in wanted]
+        else:
+            check_list = list(order)
+        checked_set = set(check_list)
+        if analysis or self.config.changed_paths is not None:
+            analysis["checked"] = list(check_list)
+
+        # ---- per-file phase.
         raw: List[Finding] = []
-        for module in modules:
+        modules: List[ModuleSource] = []
+        for rel in check_list:
+            module = parse(rel)
+            if module is None:
+                continue
+            modules.append(module)
             for rule in self.rules:
-                raw.extend(rule.check_module(module))
+                if not getattr(rule, "needs_program", False):
+                    raw.extend(rule.check_module(module))
+
+        # ---- program phase: flow rules see the whole graph but only
+        # report into the checked scope.
+        if program is not None:
+            for rule in program_rules:
+                for finding in rule.check_program(program):
+                    if finding.path in checked_set:
+                        raw.append(finding)
+
         for rule in self.rules:
-            raw.extend(rule.finalize(modules))
+            if not getattr(rule, "needs_program", False):
+                raw.extend(rule.finalize(modules))
 
         by_path = {module.path: module for module in modules}
         pragma_suppressed = 0
@@ -342,9 +468,10 @@ class Linter:
             findings=fresh,
             baseline_findings=baselined,
             pragma_suppressed=pragma_suppressed,
-            files_checked=len(files),
+            files_checked=len(check_list),
             rules=[rule.id for rule in self.rules],
             parse_errors=parse_errors,
+            analysis=analysis,
         )
 
 

@@ -1,0 +1,1136 @@
+"""Project-wide symbol table and call graph for the invariant checker.
+
+The per-file rules in :mod:`repro.lint` can only see one module at a
+time, but the contracts they guard are *interprocedural*: a helper three
+calls below ``EvalTask.run`` that seeds a generator from a constant
+breaks replay just as surely as one in the task itself, and a function
+reachable from a pool worker that mutates fork-shared state races no
+matter which file it lives in.  This module gives the whole-program
+rules in :mod:`repro.lint.flow` their eyes:
+
+- :func:`extract_summary` distils one parsed module into a
+  JSON-serializable :class:`ModuleSummary`: its functions and classes,
+  every call site (with a symbolic target), RNG-construction sites with
+  seed-taint verdicts, module-global and fork-shared writes, wall-clock
+  reads, and span-escape facts.  Summaries are pure functions of the
+  file's text, which is what makes them cacheable by content hash
+  (:mod:`repro.lint.store`).
+- :class:`Program` links summaries into a project: imports (including
+  package re-exports) are resolved, methods are bound through parameter
+  and attribute type hints plus constructor assignments, calls through a
+  base-typed receiver conservatively fan out to every subclass override,
+  and receiver-less dynamic dispatch falls back to binding only when the
+  method name is unique project-wide.
+- :meth:`Program.reachable` answers the closure queries the flow rules
+  are built on, keeping parent links so findings can show the call
+  chain from the root to the violation.
+
+The symbolic call-target encoding (``["dotted", ...]`` / ``["local",
+...]`` / ``["self", ...]`` / ``["attr", ...]`` / ``["dyn", ...]``) keeps
+extraction local -- a summary never needs another module -- so a single
+changed file re-analyzes alone while the rest of the graph loads from
+the store.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.core import ModuleSource
+
+__all__ = [
+    "CallFact",
+    "ClassFacts",
+    "FunctionFacts",
+    "ModuleSummary",
+    "Program",
+    "build_program",
+    "extract_summary",
+    "module_name_for",
+]
+
+#: Bump when the extraction schema changes; cached summaries from other
+#: versions are discarded (see :mod:`repro.lint.store`).
+SCHEMA_VERSION = 1
+
+#: RNG constructors whose seed argument the taint analysis inspects.
+_RNG_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.SeedSequence",
+    "random.Random",
+}
+
+#: Canonical names of the fingerprint/seed-derivation API.
+_HASHING_APIS = {
+    "repro.exec.hashing.derive_seed",
+    "repro.exec.hashing.stable_fingerprint",
+    "repro.exec.hashing.canonical_bytes",
+}
+_HASHING_TAILS = {"derive_seed", "stable_fingerprint", "canonical_bytes"}
+
+#: Wall-clock reads (mirrors rules_time; kept in sync by a lint test).
+_WALLCLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Canonical paths of the span context manager.
+_SPAN_FUNCS = {"repro.obs.span", "repro.obs.spans.span"}
+
+#: Parameter/attribute names that count as a plumbed seed (mirrors
+#: rules_rng's accepted spellings).
+_SEED_NAMES = {"rng", "seed", "seeds", "random_state", "generator"}
+_SEED_SUFFIXES = ("_rng", "_seed", "_seed_root", "_generator")
+_SEED_PREFIXES = ("rng_", "seed_")
+
+
+def seedlike(name: str) -> bool:
+    """Whether ``name`` spells a plumbed seed/generator."""
+    return (
+        name in _SEED_NAMES
+        or name == "seed_root"
+        or name.endswith(_SEED_SUFFIXES)
+        or name.startswith(_SEED_PREFIXES)
+    )
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, by climbing ``__init__.py`` chains.
+
+    ``src/repro/exec/tasks.py`` maps to ``repro.exec.tasks`` because
+    ``repro/`` and ``repro/exec/`` are packages while ``src/`` is not.
+    Files outside any package keep their stem, which is what the
+    single-file test fixtures rely on.
+    """
+    parts: List[str] = [] if path.stem == "__init__" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) or path.stem
+
+
+# --------------------------------------------------------------------- #
+# Summary dataclasses
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class CallFact:
+    """One call site with a link-time-resolvable symbolic target."""
+
+    line: int
+    col: int
+    #: ``["dotted", name]`` / ``["local", name]`` / ``["self", cls, m]``
+    #: / ``["attr", typespec, m]`` / ``["dyn", m]``.
+    target: List
+    in_with: bool = False
+
+    def to_dict(self) -> Dict:
+        return {
+            "line": self.line, "col": self.col,
+            "target": self.target, "in_with": self.in_with,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CallFact":
+        return cls(
+            line=int(data["line"]), col=int(data["col"]),
+            target=list(data["target"]), in_with=bool(data["in_with"]),
+        )
+
+
+@dataclass
+class FunctionFacts:
+    """Everything the flow rules need to know about one function."""
+
+    name: str  # qualname within the module ("f" or "Cls.f")
+    line: int
+    end_line: int
+    decorator_lines: List[int] = field(default_factory=list)
+    params: List[str] = field(default_factory=list)
+    calls: List[CallFact] = field(default_factory=list)
+    #: ``{line, col, ctor, seeded, tainted}`` per RNG-constructor call.
+    rng_sites: List[Dict] = field(default_factory=list)
+    #: ``{name, line, col, kind}`` with kind ``global`` | ``module-attr``.
+    global_writes: List[Dict] = field(default_factory=list)
+    #: ``{name, line, col}`` -- attr/subscript stores on ``get_shared_*``
+    #: results (fork-shared world objects).
+    shared_writes: List[Dict] = field(default_factory=list)
+    #: ``{name, line, col, suppressed}`` wall-clock reads.
+    wallclock: List[Dict] = field(default_factory=list)
+    #: ``{line, col, api, targets}`` -- hashing-API calls and the
+    #: symbolic targets of calls nested in their argument expressions.
+    hash_feeds: List[Dict] = field(default_factory=list)
+    #: Returns a raw span record (``return span(...)`` or a variable
+    #: holding one).
+    returns_span: bool = False
+    #: Symbolic targets whose return value this function returns --
+    #: span-escape propagates through these.
+    return_targets: List[List] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name, "line": self.line, "end_line": self.end_line,
+            "decorator_lines": self.decorator_lines, "params": self.params,
+            "calls": [c.to_dict() for c in self.calls],
+            "rng_sites": self.rng_sites,
+            "global_writes": self.global_writes,
+            "shared_writes": self.shared_writes,
+            "wallclock": self.wallclock,
+            "hash_feeds": self.hash_feeds,
+            "returns_span": self.returns_span,
+            "return_targets": self.return_targets,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FunctionFacts":
+        return cls(
+            name=data["name"], line=data["line"], end_line=data["end_line"],
+            decorator_lines=list(data["decorator_lines"]),
+            params=list(data["params"]),
+            calls=[CallFact.from_dict(c) for c in data["calls"]],
+            rng_sites=list(data["rng_sites"]),
+            global_writes=list(data["global_writes"]),
+            shared_writes=list(data["shared_writes"]),
+            wallclock=list(data["wallclock"]),
+            hash_feeds=list(data["hash_feeds"]),
+            returns_span=bool(data["returns_span"]),
+            return_targets=list(data["return_targets"]),
+        )
+
+
+@dataclass
+class ClassFacts:
+    """One top-level class: bases, annotated fields, methods."""
+
+    name: str
+    line: int
+    #: Base-class specs: ``["local", name]`` or ``["dotted", name]``.
+    bases: List[List] = field(default_factory=list)
+    #: ``{field: {"annotation": source, "line": n}}`` from class-body
+    #: ``AnnAssign`` (dataclass fields cross the pool boundary).
+    fields: Dict[str, Dict] = field(default_factory=dict)
+    #: ``{attr: typespec}`` from class-level hints and ``self.x = Ctor()``
+    #: constructor assignments -- how ``self.x.m()`` binds.
+    attr_types: Dict[str, List] = field(default_factory=dict)
+    methods: Dict[str, FunctionFacts] = field(default_factory=dict)
+    is_dataclass: bool = False
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name, "line": self.line, "bases": self.bases,
+            "fields": self.fields, "attr_types": self.attr_types,
+            "methods": {k: m.to_dict() for k, m in self.methods.items()},
+            "is_dataclass": self.is_dataclass,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ClassFacts":
+        return cls(
+            name=data["name"], line=data["line"],
+            bases=[list(b) for b in data["bases"]],
+            fields=dict(data["fields"]),
+            attr_types={k: list(v) for k, v in data["attr_types"].items()},
+            methods={
+                k: FunctionFacts.from_dict(m)
+                for k, m in data["methods"].items()
+            },
+            is_dataclass=bool(data["is_dataclass"]),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """The cacheable whole-module analysis record."""
+
+    path: str
+    module: str
+    digest: str
+    imports: Dict[str, str] = field(default_factory=dict)
+    module_names: List[str] = field(default_factory=list)
+    functions: Dict[str, FunctionFacts] = field(default_factory=dict)
+    classes: Dict[str, ClassFacts] = field(default_factory=dict)
+    #: Names of functions/classes defined *inside* functions (pickle
+    #: hazards when referenced from task payloads).
+    local_defs: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return {
+            "path": self.path, "module": self.module, "digest": self.digest,
+            "imports": self.imports, "module_names": self.module_names,
+            "functions": {k: f.to_dict() for k, f in self.functions.items()},
+            "classes": {k: c.to_dict() for k, c in self.classes.items()},
+            "local_defs": self.local_defs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ModuleSummary":
+        return cls(
+            path=data["path"], module=data["module"], digest=data["digest"],
+            imports=dict(data["imports"]),
+            module_names=list(data["module_names"]),
+            functions={
+                k: FunctionFacts.from_dict(f)
+                for k, f in data["functions"].items()
+            },
+            classes={
+                k: ClassFacts.from_dict(c) for k, c in data["classes"].items()
+            },
+            local_defs=list(data["local_defs"]),
+        )
+
+
+# --------------------------------------------------------------------- #
+# Extraction
+# --------------------------------------------------------------------- #
+
+
+def _attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """``["base", "a", "b"]`` for a ``base.a.b`` chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return list(reversed(parts))
+
+
+def _annotation_spec(
+    node: Optional[ast.AST], module: ModuleSource
+) -> Optional[List]:
+    """A symbolic type spec for an annotation expression, if simple."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # Quoted forward reference: parse the string and recurse.
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):
+        # Optional[T] / "T | None" carry the payload type in the slice;
+        # for containers the element type does not drive dispatch.
+        value = _attr_chain(node.value)
+        if value and value[-1] == "Optional":
+            return _annotation_spec(node.slice, module)
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        for side in (node.left, node.right):
+            spec = _annotation_spec(side, module)
+            if spec is not None:
+                return spec
+        return None
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        resolved = module.imports.resolve(node)
+        if resolved is not None:
+            return ["dotted", resolved]
+        if isinstance(node, ast.Name):
+            return ["local", node.id]
+    return None
+
+
+class _FunctionExtractor:
+    """Distils one function body into :class:`FunctionFacts`."""
+
+    def __init__(
+        self,
+        node: ast.AST,
+        qualname: str,
+        module: ModuleSource,
+        class_name: Optional[str],
+        module_names: Set[str],
+    ) -> None:
+        self.node = node
+        self.module = module
+        self.class_name = class_name
+        self.module_names = module_names
+        args = node.args
+        self.params = [
+            a.arg for a in args.posonlyargs + args.args + args.kwonlyargs
+        ]
+        if args.vararg:
+            self.params.append(args.vararg.arg)
+        if args.kwarg:
+            self.params.append(args.kwarg.arg)
+        self.var_types: Dict[str, List] = {}
+        for a in args.posonlyargs + args.args + args.kwonlyargs:
+            spec = _annotation_spec(a.annotation, module)
+            if spec is not None:
+                self.var_types[a.arg] = spec
+        self.shared_vars: Set[str] = set()
+        self.locals: Set[str] = set(self.params)
+        self.tainted: Set[str] = {p for p in self.params if seedlike(p)}
+        self.globals_declared: Set[str] = set()
+        self.facts = FunctionFacts(
+            name=qualname,
+            line=node.lineno,
+            end_line=getattr(node, "end_lineno", node.lineno) or node.lineno,
+            decorator_lines=[d.lineno for d in node.decorator_list],
+            params=list(self.params),
+        )
+        self.with_ctx: Set[int] = set()
+        self.returned_names: Set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.With, ast.AsyncWith)):
+                for item in sub.items:
+                    self.with_ctx.add(id(item.context_expr))
+
+    # -- helpers ------------------------------------------------------- #
+
+    def _resolve_dotted(self, node: ast.AST) -> Optional[str]:
+        return self.module.imports.resolve(node)
+
+    def target_spec(self, func: ast.AST) -> List:
+        """The symbolic call target for a callee expression."""
+        if isinstance(func, ast.Name):
+            resolved = self.module.imports.names.get(func.id)
+            if resolved is not None:
+                return ["dotted", resolved]
+            return ["local", func.id]
+        if isinstance(func, ast.Attribute):
+            resolved = self._resolve_dotted(func)
+            if resolved is not None:
+                return ["dotted", resolved]
+            base = func.value
+            if isinstance(base, ast.Name):
+                if base.id == "self" and self.class_name is not None:
+                    return ["self", self.class_name, func.attr]
+                spec = self.var_types.get(base.id)
+                if spec is not None:
+                    return ["attr", spec, func.attr]
+            return ["dyn", func.attr]
+        return ["dyn", ""]
+
+    def _expr_tainted(self, node: ast.AST) -> bool:
+        """Whether a seed-ish source appears anywhere in ``node``."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                if sub.id in self.tainted or seedlike(sub.id):
+                    return True
+            elif isinstance(sub, ast.Attribute) and seedlike(sub.attr):
+                return True
+            elif isinstance(sub, ast.Call):
+                resolved = self.module.imports.resolve_call(sub)
+                if resolved is not None and (
+                    resolved in _HASHING_APIS
+                    or resolved.rsplit(".", 1)[-1] in _HASHING_TAILS
+                ):
+                    return True
+        return False
+
+    def _suppressed(self, line: int, *rule_ids: str) -> bool:
+        rules = self.module.ignores.get(line, ...)
+        if rules is ...:
+            return False
+        return rules is None or any(r in rules for r in rule_ids)
+
+    def _is_store_on_module_name(self, target: ast.AST) -> Optional[Tuple[str, str]]:
+        """(name, kind) when ``target`` writes through a module-level name."""
+        node = target
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        name = node.id
+        if node is target:
+            # Plain ``name = ...`` only writes a module global under a
+            # ``global`` declaration; otherwise it creates a local.
+            if name in self.globals_declared:
+                return name, "global"
+            return None
+        if name in self.shared_vars:
+            return None  # reported as a shared write, not a global one
+        if name in self.locals and name not in self.globals_declared:
+            return None
+        if name in self.globals_declared or name in self.module_names:
+            return name, "module-attr"
+        resolved = self.module.imports.names.get(name)
+        if resolved is not None:
+            chain = _attr_chain(target if isinstance(target, ast.Attribute) else node)
+            dotted = ".".join([resolved] + (chain[1:] if chain else []))
+            return dotted, "module-attr"
+        return None
+
+    # -- the walk ------------------------------------------------------ #
+
+    def run(self) -> FunctionFacts:
+        self._prescan()
+        self._walk_statements(self.node.body)
+        return self.facts
+
+    def _bound_names(self, target: ast.AST, out: Set[str]) -> None:
+        """Names *bound* by an assignment target -- not names merely
+        written through (``cache[k] = v`` does not bind ``cache``)."""
+        if isinstance(target, ast.Name):
+            out.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bound_names(element, out)
+        elif isinstance(target, ast.Starred):
+            self._bound_names(target.value, out)
+
+    def _prescan(self) -> None:
+        """Collect locals, ``global`` decls, and returned names first."""
+        for sub in ast.walk(self.node):
+            if isinstance(sub, ast.Global):
+                self.globals_declared.update(sub.names)
+            elif isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    self._bound_names(target, self.locals)
+            elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(sub.target, ast.Name):
+                    self.locals.add(sub.target.id)
+            elif isinstance(sub, (ast.For, ast.AsyncFor)):
+                self._bound_names(sub.target, self.locals)
+            elif isinstance(sub, ast.withitem) and sub.optional_vars is not None:
+                self._bound_names(sub.optional_vars, self.locals)
+            elif isinstance(sub, ast.Return) and isinstance(sub.value, ast.Name):
+                self.returned_names.add(sub.value.id)
+
+    def _walk_statements(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        # One BFS walk per top-level statement handles arbitrarily nested
+        # assignments, loops, and comprehensions in near-source order, so
+        # taint introduced by an outer node is visible to inner calls.
+        # Facts inside nested defs are attributed to this function: the
+        # nested callee is invisible to the linker, and attributing its
+        # body here over-approximates reachability (the safe direction).
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                self._note_assign(node.targets, node.value)
+            elif isinstance(node, ast.AnnAssign):
+                if node.value is not None:
+                    self._note_assign([node.target], node.value)
+                spec = _annotation_spec(node.annotation, self.module)
+                if spec is not None and isinstance(node.target, ast.Name):
+                    self.var_types[node.target.id] = spec
+            elif isinstance(node, ast.AugAssign):
+                self._note_store(node.target)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                self._note_return(node.value)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self._note_loop_taint(node.target, node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                # Taint the comprehension variables when the *outer* node
+                # is seen: ast.walk is breadth-first, so the element
+                # expression would otherwise be visited before its
+                # generators.
+                for gen in node.generators:
+                    self._note_loop_taint(gen.target, gen.iter)
+            elif isinstance(node, ast.Call):
+                self._note_call(node)
+
+    def _note_loop_taint(self, target: ast.AST, source: ast.AST) -> None:
+        """Iterating a tainted source taints the loop variables."""
+        if not self._expr_tainted(source):
+            return
+        for name_node in ast.walk(target):
+            if isinstance(name_node, ast.Name):
+                self.tainted.add(name_node.id)
+
+    def _note_assign(self, targets: List[ast.AST], value: ast.AST) -> None:
+        for target in targets:
+            self._note_store(target)
+        if not isinstance(value, ast.Call):
+            if self._expr_tainted(value):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        self.tainted.add(target.id)
+            return
+        spec = self.target_spec(value.func)
+        terminal = spec[-1] if spec and isinstance(spec[-1], str) else ""
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if terminal.rsplit(".", 1)[-1].startswith("get_shared_"):
+                self.shared_vars.add(target.id)
+            elif spec[0] in ("dotted", "local"):
+                # ``v = Ctor(...)`` pins v's type for method binding.
+                tail = terminal.rsplit(".", 1)[-1]
+                if tail[:1].isupper():
+                    self.var_types[target.id] = spec
+            if self._expr_tainted(value):
+                self.tainted.add(target.id)
+
+    def _note_store(self, target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._note_store(element)
+            return
+        node = target
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            node = node.value
+        if isinstance(node, ast.Name) and node.id in self.shared_vars and node is not target:
+            self.facts.shared_writes.append({
+                "name": node.id, "line": target.lineno, "col": target.col_offset,
+            })
+            return
+        hit = self._is_store_on_module_name(target)
+        if hit is not None:
+            name, kind = hit
+            self.facts.global_writes.append({
+                "name": name, "line": target.lineno,
+                "col": target.col_offset, "kind": kind,
+            })
+
+    def _note_return(self, value: ast.AST) -> None:
+        if isinstance(value, ast.Call):
+            resolved = self.module.imports.resolve_call(value)
+            if resolved in _SPAN_FUNCS:
+                self.facts.returns_span = True
+            else:
+                self.facts.return_targets.append(self.target_spec(value.func))
+        elif isinstance(value, ast.Name):
+            # ``rec = span(...); return rec`` -- handled in _note_call.
+            pass
+
+    def _note_call(self, call: ast.Call) -> None:
+        resolved = self.module.imports.resolve_call(call)
+        spec = self.target_spec(call.func)
+        self.facts.calls.append(CallFact(
+            line=call.lineno, col=call.col_offset, target=spec,
+            in_with=id(call) in self.with_ctx,
+        ))
+        if resolved is not None:
+            if resolved in _RNG_CONSTRUCTORS:
+                seeded = bool(call.args or call.keywords)
+                tainted = seeded and any(
+                    self._expr_tainted(a)
+                    for a in list(call.args) + [k.value for k in call.keywords]
+                )
+                self.facts.rng_sites.append({
+                    "line": call.lineno, "col": call.col_offset,
+                    "ctor": resolved, "seeded": seeded, "tainted": tainted,
+                    "suppressed": self._suppressed(call.lineno, "rng-taint"),
+                })
+            if resolved in _WALLCLOCK:
+                # Only a `wallclock-fingerprint` pragma blesses hashing
+                # chains through this site; a plain `wall-clock` pragma
+                # covers the per-file rule alone.
+                self.facts.wallclock.append({
+                    "name": resolved, "line": call.lineno,
+                    "col": call.col_offset,
+                    "suppressed": self._suppressed(
+                        call.lineno, "wallclock-fingerprint"
+                    ),
+                })
+            if (
+                resolved in _HASHING_APIS
+                or (
+                    resolved.startswith("repro.")
+                    and resolved.rsplit(".", 1)[-1] in _HASHING_TAILS
+                )
+            ):
+                targets = [
+                    self.target_spec(sub.func)
+                    for arg in list(call.args) + [k.value for k in call.keywords]
+                    for sub in ast.walk(arg)
+                    if isinstance(sub, ast.Call)
+                ]
+                self.facts.hash_feeds.append({
+                    "line": call.lineno, "col": call.col_offset,
+                    "api": resolved.rsplit(".", 1)[-1], "targets": targets,
+                })
+            if resolved in _SPAN_FUNCS and not self.facts.returns_span:
+                # ``rec = span(...); return rec`` escapes just like a
+                # direct ``return span(...)``.
+                parent_assign = self._assigned_name_of(call)
+                if parent_assign is not None and parent_assign in self.returned_names:
+                    self.facts.returns_span = True
+
+    def _assigned_name_of(self, call: ast.Call) -> Optional[str]:
+        for sub in ast.walk(self.node):
+            if isinstance(sub, ast.Assign) and sub.value is call:
+                if len(sub.targets) == 1 and isinstance(sub.targets[0], ast.Name):
+                    return sub.targets[0].id
+        return None
+
+
+def _module_level_names(tree: ast.Module) -> Set[str]:
+    """Names bound at module scope (without descending into defs)."""
+    names: Set[str] = set()
+
+    def visit(body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for node in ast.walk(target):
+                        if isinstance(node, ast.Name):
+                            names.add(node.id)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                names.add(stmt.target.id)
+            elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    names.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                visit(stmt.body)
+                for handler in getattr(stmt, "handlers", []):
+                    visit(handler.body)
+                visit(stmt.orelse)
+                visit(getattr(stmt, "finalbody", []))
+
+    visit(tree.body)
+    return names
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        chain = _attr_chain(target)
+        if chain and chain[-1] == "dataclass":
+            return True
+    return False
+
+
+def extract_summary(module: ModuleSource, digest: str = "") -> ModuleSummary:
+    """The whole-module analysis record for one parsed file."""
+    tree = module.tree
+    module_names = _module_level_names(tree)
+    summary = ModuleSummary(
+        path=module.path,
+        module=module_name_for(Path(module.path)),
+        digest=digest,
+        imports=dict(module.imports.names),
+        module_names=sorted(module_names),
+    )
+
+    def extract_function(
+        node: ast.AST, qualname: str, class_name: Optional[str]
+    ) -> FunctionFacts:
+        return _FunctionExtractor(
+            node, qualname, module, class_name, module_names
+        ).run()
+
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            summary.functions[stmt.name] = extract_function(stmt, stmt.name, None)
+        elif isinstance(stmt, ast.ClassDef):
+            facts = ClassFacts(
+                name=stmt.name,
+                line=stmt.lineno,
+                is_dataclass=_is_dataclass_decorated(stmt),
+            )
+            for base in stmt.bases:
+                resolved = module.imports.resolve(base)
+                if resolved is not None:
+                    facts.bases.append(["dotted", resolved])
+                elif isinstance(base, ast.Name):
+                    facts.bases.append(["local", base.id])
+            for item in stmt.body:
+                if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                    facts.fields[item.target.id] = {
+                        "annotation": ast.unparse(item.annotation),
+                        "line": item.lineno,
+                    }
+                    spec = _annotation_spec(item.annotation, module)
+                    if spec is not None:
+                        facts.attr_types[item.target.id] = spec
+                elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{stmt.name}.{item.name}"
+                    facts.methods[item.name] = extract_function(
+                        item, qual, stmt.name
+                    )
+                    if item.name == "__init__":
+                        _collect_ctor_attr_types(item, module, facts)
+            summary.classes[stmt.name] = facts
+
+    # Functions/classes defined inside functions: pickle hazards.
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for child in ast.walk(node):
+                if child is node:
+                    continue
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    summary.local_defs.append(child.name)
+    summary.local_defs = sorted(set(summary.local_defs))
+    return summary
+
+
+def _collect_ctor_attr_types(
+    init: ast.AST, module: ModuleSource, facts: ClassFacts
+) -> None:
+    """``self.x = Ctor(...)`` assignments pin ``self.x``'s type."""
+    for stmt in ast.walk(init):
+        if not isinstance(stmt, ast.Assign) or not isinstance(stmt.value, ast.Call):
+            continue
+        resolved = module.imports.resolve_call(stmt.value)
+        func = stmt.value.func
+        spec: Optional[List] = None
+        if resolved is not None and resolved.rsplit(".", 1)[-1][:1].isupper():
+            spec = ["dotted", resolved]
+        elif isinstance(func, ast.Name) and func.id[:1].isupper():
+            spec = ["local", func.id]
+        if spec is None:
+            continue
+        for target in stmt.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                facts.attr_types.setdefault(target.attr, spec)
+
+
+# --------------------------------------------------------------------- #
+# Linking
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class FunctionNode:
+    """One linked function: its facts plus resolved outgoing edges."""
+
+    id: str  # "module:qualname"
+    module: str
+    path: str
+    facts: FunctionFacts
+    edges: List[str] = field(default_factory=list)
+
+    @property
+    def display(self) -> str:
+        return f"{self.module}:{self.facts.name}"
+
+
+class Program:
+    """Linked whole-program view over a set of module summaries."""
+
+    #: Re-export chasing depth cap (a.b -> a.b.c -> ...).
+    _REEXPORT_DEPTH = 6
+
+    def __init__(self, summaries: Sequence[ModuleSummary]) -> None:
+        self.modules: Dict[str, ModuleSummary] = {}
+        for summary in summaries:
+            self.modules[summary.module] = summary
+        self.by_path: Dict[str, ModuleSummary] = {
+            s.path: s for s in summaries
+        }
+        self.functions: Dict[str, FunctionNode] = {}
+        self.classes: Dict[str, ClassFacts] = {}  # "module:Cls"
+        self._class_modules: Dict[str, str] = {}  # "module:Cls" -> module
+        self._name_to_classes: Dict[str, List[str]] = {}
+        self._name_to_functions: Dict[str, List[str]] = {}
+        self._subclasses: Dict[str, List[str]] = {}
+        self._link()
+
+    # -- construction -------------------------------------------------- #
+
+    def _link(self) -> None:
+        for summary in self.modules.values():
+            for fname, facts in summary.functions.items():
+                fid = f"{summary.module}:{fname}"
+                self.functions[fid] = FunctionNode(
+                    id=fid, module=summary.module, path=summary.path, facts=facts
+                )
+                self._name_to_functions.setdefault(fname, []).append(fid)
+            for cname, cfacts in summary.classes.items():
+                cid = f"{summary.module}:{cname}"
+                self.classes[cid] = cfacts
+                self._class_modules[cid] = summary.module
+                self._name_to_classes.setdefault(cname, []).append(cid)
+                for mname, mfacts in cfacts.methods.items():
+                    fid = f"{summary.module}:{cname}.{mname}"
+                    self.functions[fid] = FunctionNode(
+                        id=fid, module=summary.module, path=summary.path,
+                        facts=mfacts,
+                    )
+                    self._name_to_functions.setdefault(mname, []).append(fid)
+        # Subclass map (transitive expansion happens in lookups).
+        for cid, cfacts in sorted(self.classes.items()):
+            for base in cfacts.bases:
+                base_id = self.resolve_class_spec(
+                    base, self._class_modules[cid]
+                )
+                if base_id is not None:
+                    self._subclasses.setdefault(base_id, []).append(cid)
+        # Resolve every call fact into edges.
+        for node in self.functions.values():
+            seen: Set[str] = set()
+            for call in node.facts.calls:
+                for fid in self.resolve_spec(call.target, node.module):
+                    if fid not in seen:
+                        seen.add(fid)
+                        node.edges.append(fid)
+
+    # -- name resolution ----------------------------------------------- #
+
+    def resolve_dotted(self, dotted: str, depth: int = 0) -> List[str]:
+        """Function ids a canonical dotted name can denote."""
+        if depth > self._REEXPORT_DEPTH:
+            return []
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            summary = self.modules.get(module)
+            if summary is None:
+                continue
+            rest = parts[cut:]
+            if len(rest) == 1:
+                name = rest[0]
+                if name in summary.functions:
+                    return [f"{module}:{name}"]
+                if name in summary.classes:
+                    return self._ctor_targets(f"{module}:{name}")
+                if name in summary.imports:
+                    return self.resolve_dotted(summary.imports[name], depth + 1)
+                return []
+            if len(rest) == 2:
+                cls, method = rest
+                if cls in summary.classes:
+                    return self.lookup_method(f"{module}:{cls}", method)
+                if cls in summary.imports:
+                    return self.resolve_dotted(
+                        f"{summary.imports[cls]}.{method}", depth + 1
+                    )
+            # Deeper chains only make sense through re-exports.
+            if rest[0] in summary.imports:
+                return self.resolve_dotted(
+                    ".".join([summary.imports[rest[0]]] + rest[1:]), depth + 1
+                )
+            return []
+        return []
+
+    def resolve_class_spec(
+        self, spec: Sequence, module: str
+    ) -> Optional[str]:
+        """Class id for a ``["dotted", d]`` / ``["local", n]`` type spec."""
+        if not spec:
+            return None
+        kind = spec[0]
+        if kind == "local":
+            name = spec[1]
+            cid = f"{module}:{name}"
+            if cid in self.classes:
+                return cid
+            summary = self.modules.get(module)
+            if summary is not None and name in summary.imports:
+                return self._dotted_class(summary.imports[name])
+            candidates = self._name_to_classes.get(name, [])
+            return candidates[0] if len(candidates) == 1 else None
+        if kind == "dotted":
+            return self._dotted_class(spec[1])
+        return None
+
+    def _dotted_class(self, dotted: str, depth: int = 0) -> Optional[str]:
+        if depth > self._REEXPORT_DEPTH:
+            return None
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            summary = self.modules.get(module)
+            if summary is None:
+                continue
+            rest = parts[cut:]
+            if len(rest) == 1:
+                if rest[0] in summary.classes:
+                    return f"{module}:{rest[0]}"
+                if rest[0] in summary.imports:
+                    return self._dotted_class(summary.imports[rest[0]], depth + 1)
+            return None
+        # Fall back to a unique simple-name match (covers annotations
+        # naming a class the module never imports at runtime).
+        tail = parts[-1]
+        candidates = self._name_to_classes.get(tail, [])
+        return candidates[0] if len(candidates) == 1 else None
+
+    def _ctor_targets(self, class_id: str) -> List[str]:
+        """Calling a class runs ``__init__`` (its own or inherited)."""
+        return self.lookup_method(class_id, "__init__", with_overrides=False)
+
+    def subclasses_of(self, class_id: str) -> List[str]:
+        """All transitive subclasses of ``class_id``."""
+        out: List[str] = []
+        queue = list(self._subclasses.get(class_id, []))
+        seen: Set[str] = set()
+        while queue:
+            cid = queue.pop()
+            if cid in seen:
+                continue
+            seen.add(cid)
+            out.append(cid)
+            queue.extend(self._subclasses.get(cid, []))
+        return sorted(out)
+
+    def lookup_method(
+        self, class_id: str, method: str, with_overrides: bool = True
+    ) -> List[str]:
+        """Function ids ``obj.method()`` can bind to for ``obj: class_id``.
+
+        The defining class (walking bases) contributes one target; with
+        ``with_overrides`` every transitive subclass override joins it,
+        because a base-typed receiver can hold any subclass instance --
+        the conservative direction for reachability.
+        """
+        out: List[str] = []
+        # Walk the class and its bases for the static definition.
+        queue = [class_id]
+        seen: Set[str] = set()
+        while queue:
+            cid = queue.pop(0)
+            if cid in seen:
+                continue
+            seen.add(cid)
+            cfacts = self.classes.get(cid)
+            if cfacts is None:
+                continue
+            if method in cfacts.methods:
+                out.append(f"{self._class_modules[cid]}:{cfacts.name}.{method}")
+                break
+            module = self._class_modules[cid]
+            for base in cfacts.bases:
+                base_id = self.resolve_class_spec(base, module)
+                if base_id is not None:
+                    queue.append(base_id)
+        if with_overrides:
+            for sub in self.subclasses_of(class_id):
+                cfacts = self.classes[sub]
+                if method in cfacts.methods:
+                    fid = f"{self._class_modules[sub]}:{cfacts.name}.{method}"
+                    if fid not in out:
+                        out.append(fid)
+        return out
+
+    def resolve_spec(self, spec: Sequence, module: str) -> List[str]:
+        """Function ids a symbolic call target can reach."""
+        if not spec:
+            return []
+        kind = spec[0]
+        if kind == "dotted":
+            return self.resolve_dotted(spec[1])
+        if kind == "local":
+            summary = self.modules.get(module)
+            if summary is None:
+                return []
+            name = spec[1]
+            if name in summary.functions:
+                return [f"{module}:{name}"]
+            if name in summary.classes:
+                return self._ctor_targets(f"{module}:{name}")
+            return []
+        if kind == "self":
+            _, cls, method = spec
+            return self.lookup_method(f"{module}:{cls}", method)
+        if kind == "attr":
+            _, typespec, method = spec
+            class_id = self.resolve_class_spec(typespec, module)
+            if class_id is None:
+                return []
+            return self.lookup_method(class_id, method)
+        if kind == "dyn":
+            # Conservative fallback on dynamic dispatch: bind only when
+            # the method name is unambiguous project-wide.
+            candidates = self._name_to_functions.get(spec[1], [])
+            return list(candidates) if len(candidates) == 1 else []
+        return []
+
+    # -- queries -------------------------------------------------------- #
+
+    def reachable(
+        self, roots: Iterable[str]
+    ) -> Dict[str, Optional[str]]:
+        """BFS closure over call edges; value = parent id (None at roots)."""
+        parents: Dict[str, Optional[str]] = {}
+        queue: List[str] = []
+        for root in roots:
+            if root in self.functions and root not in parents:
+                parents[root] = None
+                queue.append(root)
+        while queue:
+            current = queue.pop(0)
+            for nxt in self.functions[current].edges:
+                if nxt not in parents:
+                    parents[nxt] = current
+                    queue.append(nxt)
+        return parents
+
+    def chain(
+        self, parents: Dict[str, Optional[str]], fn_id: str, limit: int = 6
+    ) -> List[str]:
+        """Display names from a root down to ``fn_id``."""
+        out: List[str] = []
+        current: Optional[str] = fn_id
+        while current is not None and len(out) < limit:
+            out.append(self.functions[current].display)
+            current = parents.get(current)
+        return list(reversed(out))
+
+    def task_classes(self) -> List[str]:
+        """Class ids of ``EvalTask`` and every (transitive) subclass."""
+        bases = [
+            cid for cid, cfacts in sorted(self.classes.items())
+            if cfacts.name == "EvalTask"
+        ]
+        out: List[str] = list(bases)
+        for base in bases:
+            out.extend(self.subclasses_of(base))
+        return sorted(set(out))
+
+    def class_module(self, class_id: str) -> str:
+        return self._class_modules[class_id]
+
+    def find_functions(self, name: str) -> List[str]:
+        """Every function id whose terminal name is ``name``."""
+        return sorted(self._name_to_functions.get(name, []))
+
+    def importers_of(self, module: str) -> List[str]:
+        """Modules whose imports resolve into ``module`` (direct only)."""
+        out: List[str] = []
+        for name, summary in self.modules.items():
+            if name == module:
+                continue
+            for dotted in summary.imports.values():
+                if dotted == module or dotted.startswith(module + "."):
+                    out.append(name)
+                    break
+        return sorted(out)
+
+    def reverse_dependency_closure(self, paths: Iterable[str]) -> Set[str]:
+        """Paths of the given modules plus everything importing them.
+
+        This is the re-check set for ``--changed-only``: a change in B
+        can invalidate any interprocedural fact in a module that imports
+        B, transitively.
+        """
+        wanted: Set[str] = set()
+        queue: List[str] = []
+        for path in paths:
+            summary = self.by_path.get(path)
+            if summary is None:
+                wanted.add(path)  # unknown files stay in the check set
+                continue
+            if summary.path not in wanted:
+                wanted.add(summary.path)
+                queue.append(summary.module)
+        seen_modules: Set[str] = set(queue)
+        while queue:
+            module = queue.pop(0)
+            for importer in self.importers_of(module):
+                if importer not in seen_modules:
+                    seen_modules.add(importer)
+                    wanted.add(self.modules[importer].path)
+                    queue.append(importer)
+        return wanted
+
+
+def build_program(summaries: Sequence[ModuleSummary]) -> Program:
+    """Link ``summaries`` into a queryable :class:`Program`."""
+    return Program(summaries)

@@ -17,7 +17,7 @@ import ast
 import re
 from typing import Iterable, List, Optional, Set
 
-from repro.lint.core import Finding, ModuleSource, Rule
+from repro.lint.core import Finding, ModuleSource, Rule, expr_window
 
 __all__ = ["PickleSafetyRule"]
 
@@ -109,6 +109,10 @@ class PickleSafetyRule(Rule):
                             "function or a frozen dataclass field instead"
                         ),
                         symbol=f"{target}:{bad}",
+                        # The pragma may sit anywhere on the enclosing
+                        # call -- its first line, the flagged argument,
+                        # or the closing-paren line.
+                        extra_lines=(node.lineno,) + expr_window(node),
                     )
                 )
         return findings
@@ -133,12 +137,18 @@ class PickleSafetyRule(Rule):
                 return f"{_terminal_name(receiver.func)}().map(...)"
         return None
 
-    @staticmethod
-    def _unpicklable(value: ast.AST, local_defs: Set[str]) -> Optional[str]:
+    @classmethod
+    def _unpicklable(cls, value: ast.AST, local_defs: Set[str]) -> Optional[str]:
         if isinstance(value, ast.Lambda):
             return "a lambda"
         if isinstance(value, ast.Name) and value.id in local_defs:
             return f"locally-defined '{value.id}'"
+        # functools.partial pickles by reference to whatever it wraps:
+        # partial(lambda ...) and partial(local_def) fail in the worker
+        # exactly like the bare callable would.
+        partial_payload = cls._partial_payload(value, local_defs)
+        if partial_payload is not None:
+            return partial_payload
         # Containers of lambdas ([f, lambda: ...]) are payloads too.
         if isinstance(value, (ast.List, ast.Tuple, ast.Set)):
             for element in value.elts:
@@ -146,4 +156,25 @@ class PickleSafetyRule(Rule):
                     return "a lambda"
                 if isinstance(element, ast.Name) and element.id in local_defs:
                     return f"locally-defined '{element.id}'"
+                partial_payload = cls._partial_payload(element, local_defs)
+                if partial_payload is not None:
+                    return partial_payload
+        return None
+
+    @staticmethod
+    def _partial_payload(
+        value: ast.AST, local_defs: Set[str]
+    ) -> Optional[str]:
+        """The description of a bad ``partial(...)`` payload, if any."""
+        if not isinstance(value, ast.Call):
+            return None
+        if _terminal_name(value.func) != "partial":
+            return None
+        for arg in list(value.args) + [kw.value for kw in value.keywords]:
+            if isinstance(arg, ast.Lambda):
+                return "a functools.partial wrapping a lambda"
+            if isinstance(arg, ast.Name) and arg.id in local_defs:
+                return (
+                    f"a functools.partial wrapping locally-defined '{arg.id}'"
+                )
         return None

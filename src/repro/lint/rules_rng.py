@@ -20,7 +20,7 @@ import ast
 from fnmatch import fnmatch
 from typing import Iterable, List
 
-from repro.lint.core import Finding, ModuleSource, Rule
+from repro.lint.core import Finding, ModuleSource, Rule, expr_window
 
 __all__ = ["RngUnseededRule", "RngGlobalStateRule", "RngMissingParamRule"]
 
@@ -89,6 +89,7 @@ class RngUnseededRule(Rule):
                             "pass a seed derived from the plumbed root seed"
                         ),
                         symbol=resolved,
+                        extra_lines=expr_window(node),
                     )
                 )
         return findings
@@ -131,6 +132,7 @@ class RngGlobalStateRule(Rule):
                             "instead"
                         ),
                         symbol=offender,
+                        extra_lines=expr_window(node),
                     )
                 )
         return findings
@@ -184,6 +186,11 @@ class RngMissingParamRule(Rule):
                         "seed through it"
                     ),
                     symbol=name,
+                    # A pragma on any decorator line above the def also
+                    # suppresses -- the def line is often mid-signature.
+                    extra_lines=tuple(
+                        d.lineno for d in node.decorator_list
+                    ),
                 )
             )
         return findings

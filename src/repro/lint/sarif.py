@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 export for lint results.
+
+GitHub code scanning (and most editor SARIF viewers) can annotate a pull
+request directly from this file, which turns the invariant checker's
+findings into inline review comments instead of a log to scroll.  One
+run object carries the full rule metadata; baselined findings are
+emitted with a ``suppressions`` entry so viewers show them as accepted
+rather than new.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.lint.core import Finding, LintResult, Rule
+
+__all__ = ["to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _result(finding: Finding, suppressed: bool) -> Dict:
+    out: Dict = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": max(1, finding.column + 1),
+                    },
+                }
+            }
+        ],
+    }
+    if finding.symbol:
+        out["partialFingerprints"] = {
+            "repro/baselineKey/v1": "::".join(finding.baseline_key)
+        }
+    if suppressed:
+        out["suppressions"] = [
+            {"kind": "external", "justification": "committed lint baseline"}
+        ]
+    return out
+
+
+def to_sarif(result: LintResult, rules: Sequence[Rule]) -> Dict:
+    """The complete SARIF 2.1.0 payload for one lint run."""
+    rule_meta: List[Dict] = [
+        {
+            "id": rule.id,
+            "shortDescription": {"text": rule.summary or rule.id},
+        }
+        for rule in rules
+        if rule.id
+    ]
+    known = {meta["id"] for meta in rule_meta}
+    for finding in result.parse_errors:
+        if finding.rule not in known:
+            known.add(finding.rule)
+            rule_meta.append(
+                {
+                    "id": finding.rule,
+                    "shortDescription": {"text": "file could not be parsed"},
+                }
+            )
+    results = [
+        _result(finding, suppressed=False)
+        for finding in result.findings + result.parse_errors
+    ]
+    results.extend(
+        _result(finding, suppressed=True)
+        for finding in result.baseline_findings
+    )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "rules": rule_meta,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }

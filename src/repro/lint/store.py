@@ -1,0 +1,107 @@
+"""Content-hash keyed cache for per-module analysis summaries.
+
+Extraction (:func:`repro.lint.graph.extract_summary`) is a pure
+function of a file's text, so its result can be reused across runs as
+long as the text has not changed.  The store keeps one JSON file
+(``.repro-lint-cache.json`` by default) mapping each analyzed path to
+its content digest and serialized :class:`~repro.lint.graph.ModuleSummary`;
+a warm run re-extracts only the modules whose digest moved and loads the
+rest straight from disk, which is what keeps ``--changed-only`` and the
+CI cache cheap.
+
+The file is versioned by the extraction schema: when
+:data:`repro.lint.graph.SCHEMA_VERSION` bumps, every cached entry is
+silently discarded rather than risking stale-shaped summaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.lint.graph import SCHEMA_VERSION, ModuleSummary
+
+__all__ = ["AnalysisStore", "content_digest"]
+
+DEFAULT_STORE = ".repro-lint-cache.json"
+
+
+def content_digest(text: str) -> str:
+    """Stable digest of one module's source text."""
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=16).hexdigest()
+
+
+class AnalysisStore:
+    """Digest-keyed summary cache with atomic persistence."""
+
+    def __init__(self, path: Optional[Path] = None) -> None:
+        self.path = path
+        self.entries: Dict[str, Dict] = {}
+        #: Paths whose summaries were served from cache this run.
+        self.hits: list = []
+        #: Paths that had to be (re-)extracted this run.
+        self.misses: list = []
+        if path is not None and path.exists():
+            self._load(path)
+
+    def _load(self, path: Path) -> None:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("version") != SCHEMA_VERSION:
+            return
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self.entries = entries
+
+    def get(self, path: str, digest: str) -> Optional[ModuleSummary]:
+        """The cached summary for ``path`` iff its digest still matches."""
+        entry = self.entries.get(path)
+        if not entry or entry.get("digest") != digest:
+            return None
+        try:
+            summary = ModuleSummary.from_dict(entry["summary"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        self.hits.append(path)
+        return summary
+
+    def put(self, summary: ModuleSummary) -> None:
+        self.entries[summary.path] = {
+            "digest": summary.digest,
+            "summary": summary.to_dict(),
+        }
+        self.misses.append(summary.path)
+
+    def prune(self, keep_paths) -> None:
+        """Drop entries for files that no longer exist in the check set."""
+        keep = set(keep_paths)
+        self.entries = {p: e for p, e in self.entries.items() if p in keep}
+
+    def save(self) -> None:
+        """Atomically persist the store (no-op without a backing path)."""
+        if self.path is None:
+            return
+        payload = {"version": SCHEMA_VERSION, "entries": self.entries}
+        text = json.dumps(payload, sort_keys=True)
+        directory = self.path.parent
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(directory), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_name, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass

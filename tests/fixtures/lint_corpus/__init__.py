@@ -1,0 +1,10 @@
+"""Seeded bad-fixture corpus for the whole-program analyzer self-check.
+
+Each module here violates exactly one (or one family of) the
+interprocedural lint rules; ``expected.json`` pins the precise
+``(rule, file, line)`` triples the analyzer must produce -- no more, no
+fewer.  ``python -m repro.lint.selfcheck`` (run in CI on py3.10 and
+py3.12) fails if the analyzer drifts in either direction.
+
+These files are never imported at runtime; they only exist to be parsed.
+"""

@@ -1,0 +1,12 @@
+"""pickle-safety: functools.partial wrapping unpicklable callables."""
+
+from functools import partial
+
+
+def build_payloads(evaluator, tasks):
+    def scorer(x):
+        return x * 2.0
+
+    evaluator.map(tasks, partial(scorer, 1.0))  # BAD: partial over local def
+    evaluator.map(tasks, partial(lambda x: x, 1.0))  # BAD: partial over lambda
+    return tasks

@@ -1,0 +1,27 @@
+"""rng-taint: randomness on a task-reachable path not derived from the seed."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from lint_corpus.tasks_base import EvalTask
+
+
+@dataclass(frozen=True)
+class ProbeTask(EvalTask):
+    """The task itself plumbs its seed correctly; its helpers do not."""
+
+    seed_root: int
+
+    def run(self) -> float:
+        return entropy_probe() + rehearsed_probe()
+
+
+def entropy_probe() -> float:
+    rng = np.random.default_rng()  # BAD: OS entropy, two calls below run()
+    return float(rng.standard_normal())
+
+
+def rehearsed_probe() -> float:
+    rng = np.random.default_rng(1234)  # BAD: constant seed, not plumbed
+    return float(rng.standard_normal())

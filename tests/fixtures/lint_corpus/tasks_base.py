@@ -1,0 +1,17 @@
+"""Minimal stand-ins for the exec-engine types the flow rules anchor on.
+
+The analyzer keys on *shapes* -- a class named ``EvalTask`` and its
+subclasses, worker entry points named ``_run_task_timed``/``_run_chunk``
+-- so the corpus carries its own tiny copies rather than importing the
+real ones (the self-check must stay scoped to this directory).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EvalTask:
+    """Base work unit; subclasses override :meth:`run`."""
+
+    def run(self) -> float:
+        raise NotImplementedError

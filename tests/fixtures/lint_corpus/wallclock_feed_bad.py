@@ -1,0 +1,16 @@
+"""wallclock-fingerprint: a clock read feeding a fingerprint input."""
+
+import time
+
+from repro.exec.hashing import derive_seed
+
+
+def now_tag() -> int:
+    # The per-file rule is pragma'd off: this module *means* to read the
+    # clock here.  The interprocedural rule must still flag the chain
+    # below, because a fingerprint input reaches this call.
+    return int(time.time())  # lint: ignore[wall-clock]
+
+
+def fingerprint_seed(root: int) -> int:
+    return derive_seed(root, now_tag())  # BAD: wall clock in the input

@@ -1,0 +1,19 @@
+"""worker-state-mutation: writes on the pool-worker closure."""
+
+_CACHE = {}
+
+
+def get_shared_world(key):
+    """Registry read -- the sanctioned direction."""
+    return _CACHE[key]
+
+
+def _run_task_timed(task):
+    return _mutate_helper(task)
+
+
+def _mutate_helper(task):
+    world = get_shared_world(task.key)
+    world.items[task.key] = task  # BAD: mutates a fork-shared object
+    _CACHE[task.key] = world  # BAD: writes a module-level global
+    return world

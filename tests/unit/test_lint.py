@@ -659,6 +659,11 @@ class TestRepoSelfCheck:
             "span-balance",
             "unordered-iter",
             "alert-unknown-metric",
+            "rng-taint",
+            "worker-state-mutation",
+            "pickle-reachability",
+            "wallclock-fingerprint",
+            "span-escape",
         }
 
     def test_finding_ordering_is_total(self):
@@ -741,3 +746,237 @@ class TestAlertRuleMetricRule:
         )
         result = run_lint([], config)
         assert result.ok, "\n" + result.to_text()
+
+
+# --------------------------------------------------------------------- #
+# functools.partial payloads (pickle-safety extension)
+# --------------------------------------------------------------------- #
+
+
+class TestPartialPickleSafety:
+    def test_partial_over_local_def_into_map_flagged(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            "from functools import partial\n"
+            "def dispatch(evaluator, items):\n"
+            "    def score(item):\n"
+            "        return item + 1\n"
+            "    return evaluator.map(partial(score, 2), items)\n",
+        )
+        (finding,) = [f for f in result.findings if f.rule == "pickle-safety"]
+        assert "partial" in finding.message and "score" in finding.message
+
+    def test_partial_over_lambda_into_task_ctor_flagged(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            "import functools\n"
+            "task = RegionProbeTask(\n"
+            "    probe=functools.partial(lambda x: x, 1),\n"
+            ")\n",
+        )
+        (finding,) = [f for f in result.findings if f.rule == "pickle-safety"]
+        assert "partial" in finding.message and "lambda" in finding.message
+
+    def test_partial_over_module_level_function_clean(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            "from functools import partial\n"
+            "def score(item, scale):\n"
+            "    return item * scale\n"
+            "def run(evaluator, items):\n"
+            "    return evaluator.map(partial(score, scale=2.0), items)\n",
+        )
+        assert "pickle-safety" not in rule_ids(result)
+
+    def test_partial_inside_container_argument_flagged(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            "from functools import partial\n"
+            "def run(evaluator, items):\n"
+            "    hooks = [partial(lambda x: x, 1)]\n"
+            "    return evaluator.map(items, hooks=[partial(lambda y: y, 2)])\n",
+        )
+        assert "pickle-safety" in rule_ids(result)
+
+
+# --------------------------------------------------------------------- #
+# Pragma windows: decorators and multiline calls
+# --------------------------------------------------------------------- #
+
+
+class TestPragmaWindows:
+    def test_pragma_on_decorator_line_suppresses_def_finding(self, tmp_path):
+        bare = lint_source(
+            tmp_path,
+            "import functools\n"
+            "@functools.lru_cache\n"
+            "def generate_ratings(count):\n"
+            "    return [0] * count\n",
+        )
+        assert "rng-missing-param" in rule_ids(bare)
+        blessed = lint_source(
+            tmp_path,
+            "import functools\n"
+            "@functools.lru_cache  # lint: ignore[rng-missing-param]\n"
+            "def generate_ratings(count):\n"
+            "    return [0] * count\n",
+        )
+        assert "rng-missing-param" not in rule_ids(blessed)
+
+    def test_pragma_on_multiline_call_continuation_suppresses(self, tmp_path):
+        bare = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "rng = np.random.default_rng(\n"
+            ")\n",
+        )
+        assert "rng-unseeded" in rule_ids(bare)
+        blessed = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "rng = np.random.default_rng(\n"
+            ")  # lint: ignore[rng-unseeded]\n",
+        )
+        assert "rng-unseeded" not in rule_ids(blessed)
+
+    def test_pragma_on_multiline_task_ctor_suppresses_pickle_safety(self, tmp_path):
+        blessed = lint_source(
+            tmp_path,
+            "task = RegionProbeTask(\n"
+            "    probe=lambda: 1,\n"
+            "    bias=2.0,\n"
+            ")  # lint: ignore[pickle-safety]\n",
+        )
+        assert "pickle-safety" not in rule_ids(blessed)
+
+    def test_update_baseline_is_stable_across_reruns(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import time\n"
+            "stamp = time.time()\n"
+            "import numpy as np\n"
+            "rng = np.random.default_rng()\n"
+        )
+        baseline = tmp_path / "base.json"
+        assert main([str(bad), "--baseline", str(baseline), "--update-baseline"]) == 0
+        first = baseline.read_text()
+        assert main([str(bad), "--baseline", str(baseline), "--update-baseline"]) == 0
+        assert baseline.read_text() == first
+        # The refreshed baseline still grandfathers after unrelated edits
+        # shift every line.
+        bad.write_text("# comment\n# comment\n" + bad.read_text())
+        assert main([str(bad), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+
+# --------------------------------------------------------------------- #
+# Whole-program plumbing: cache stats, changed-only scope, SARIF, selfcheck
+# --------------------------------------------------------------------- #
+
+
+class TestAnalysisPlumbing:
+    SOURCE = "def build(seed):\n    return seed\n"
+
+    def test_cache_cold_then_warm_stats(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(self.SOURCE)
+        cache = tmp_path / "cache.json"
+        cold = run_lint([str(target)], LintConfig(cache_path=str(cache)))
+        assert cold.analysis["analyzed"] and not cold.analysis["cached"]
+        warm = run_lint([str(target)], LintConfig(cache_path=str(cache)))
+        assert warm.analysis["cached"] and not warm.analysis["analyzed"]
+
+    def test_edited_file_reanalyzed_on_warm_run(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(self.SOURCE)
+        cache = tmp_path / "cache.json"
+        run_lint([str(target)], LintConfig(cache_path=str(cache)))
+        target.write_text(self.SOURCE + "X = 1\n")
+        warm = run_lint([str(target)], LintConfig(cache_path=str(cache)))
+        assert warm.analysis["analyzed"] == [str(target)]
+
+    @staticmethod
+    def _git(repo, *args):
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t", *args],
+            cwd=repo, check=True, capture_output=True,
+        )
+
+    def test_changed_only_scopes_to_dependency_closure(self, tmp_path, capsys, monkeypatch):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "alpha.py").write_text("def f():\n    return 1\n")
+        (pkg / "beta.py").write_text("from pkg.alpha import f\n")
+        (pkg / "gamma.py").write_text("def g():\n    return 2\n")
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-qm", "seed")
+        (pkg / "alpha.py").write_text("def f():\n    return 3\n")
+
+        monkeypatch.chdir(tmp_path)
+        out_path = tmp_path / "out.json"
+        code = main([
+            "pkg", "--changed-only", "--no-cache", "--json", str(out_path),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert sorted(payload["analysis"]["checked"]) == [
+            "pkg/alpha.py", "pkg/beta.py",
+        ]
+        # The whole tree was still summarized -- scope narrows checking,
+        # not graph construction.
+        assert "pkg/gamma.py" in payload["analysis"]["analyzed"]
+        assert payload["files_checked"] == 2
+
+    def test_sarif_export_structure(self, tmp_path):
+        from repro.lint.sarif import to_sarif
+
+        target = tmp_path / "mod.py"
+        target.write_text("import time\nstamp = time.time()\n")
+        config = LintConfig()
+        result = run_lint([str(target)], config)
+        sarif = to_sarif(result, default_rules(config))
+        assert sarif["version"] == "2.1.0"
+        (run,) = sarif["runs"]
+        rule_index = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "wall-clock" in rule_index and "rng-taint" in rule_index
+        (entry,) = run["results"]
+        assert entry["ruleId"] == "wall-clock"
+        region = entry["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 2
+        assert "repro/baselineKey/v1" in entry["partialFingerprints"]
+        assert "suppressions" not in entry
+
+    def test_sarif_marks_baselined_findings_suppressed(self, tmp_path):
+        from repro.lint.sarif import to_sarif
+
+        target = tmp_path / "mod.py"
+        target.write_text("import time\nstamp = time.time()\n")
+        first = run_lint([str(target)], LintConfig())
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(baseline_payload(first.findings)))
+        config = LintConfig(baseline_path=str(baseline))
+        result = run_lint([str(target)], config)
+        assert result.ok
+        sarif = to_sarif(result, default_rules(config))
+        (entry,) = sarif["runs"][0]["results"]
+        assert entry["suppressions"][0]["kind"] == "external"
+
+    def test_selfcheck_matches_committed_corpus(self):
+        from repro.lint.selfcheck import run_selfcheck
+
+        ok, lines = run_selfcheck(
+            str(REPO_ROOT / "tests/fixtures/lint_corpus")
+        )
+        assert ok, "\n".join(lines)
+        assert lines[-1].endswith("OK")
+
+    def test_selfcheck_fails_on_missing_expectations(self, tmp_path):
+        from repro.lint.selfcheck import run_selfcheck
+
+        ok, lines = run_selfcheck(str(tmp_path))
+        assert not ok
+        assert "no" in lines[0]
